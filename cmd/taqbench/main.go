@@ -1,0 +1,161 @@
+// Command taqbench runs the paper's evaluation suite (one experiment
+// per table/figure; see DESIGN.md §3) at a chosen scale and prints the
+// same rows/series the paper reports.
+//
+// Example:
+//
+//	taqbench -experiment fig2,fig8 -scale 0.3
+//	taqbench -experiment all -scale 1        # paper scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"taq/experiments"
+	"taq/internal/sim"
+	"taq/internal/topology"
+)
+
+func main() {
+	var (
+		list  = flag.String("experiment", "all", "comma-separated: fig1,fig2,fig3,fig6,fig8,fig9,fig10,fig11,fig12,hang,redsfq,model,tfrc,ablation,iw,subpacket,pcap,tbweb or all")
+		scale = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of tables where supported (fig2, fig8, fig9)")
+	)
+	flag.Parse()
+	s := experiments.Scale(*scale)
+
+	runners := map[string]func(){
+		"model": func() {
+			m, err := experiments.RunModelTables()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(m.Table())
+		},
+		"fig1": func() {
+			fmt.Println(experiments.RunDownloadScatter(s, *seed).Table())
+		},
+		"fig2": func() {
+			r := experiments.RunFairness(experiments.FairnessConfig{Queue: topology.DropTail, Seed: *seed}, s)
+			fmt.Println(render(r, *csv))
+			lt := experiments.RunLongTermFairness(topology.DropTail, s)
+			fmt.Println("long-term slices:")
+			fmt.Println(render(lt, *csv))
+		},
+		"fig3": func() {
+			r := experiments.RunBufferTradeoff(s, *seed)
+			fmt.Println(r.Table())
+			fmt.Println("buffer (RTTs) required for JFI ≥ 0.8:", r.RequiredBuffer(0.8))
+		},
+		"hang": func() {
+			fmt.Println(experiments.RunHangTimes(topology.DropTail, s, *seed).Table())
+		},
+		"redsfq": func() {
+			fmt.Println(experiments.RunRedSfqEquivalence(s, *seed).Table())
+		},
+		"fig6": func() {
+			fmt.Println(experiments.RunModelValidation(s, *seed).Table())
+		},
+		"fig8": func() {
+			r := experiments.RunFairness(experiments.FairnessConfig{Queue: topology.TAQ, Seed: *seed}, s)
+			fmt.Println(render(r, *csv))
+		},
+		"fig9": func() {
+			fmt.Println(render(experiments.RunFlowEvolution(topology.DropTail, s, *seed), *csv))
+			fmt.Println(render(experiments.RunFlowEvolution(topology.TAQ, s, *seed), *csv))
+		},
+		"fig10": func() {
+			r := experiments.RunShortFlows(topology.TAQ, s, *seed)
+			fmt.Println(r.Table())
+			fmt.Printf("completed: %.2f  size/time correlation: %.2f\n\n",
+				r.CompletedFraction(), r.Correlation())
+		},
+		"fig11": func() {
+			r := experiments.RunTestbedFairness(experiments.TestbedOptions{
+				Speedup:         40,
+				VirtualDuration: sim.Time(float64(*scale) * float64(240*sim.Second)),
+				Seed:            *seed,
+			})
+			fmt.Println(r.Table())
+		},
+		"fig12": func() {
+			r := experiments.RunAdmissionWeb(s, *seed)
+			fmt.Println(r.Table())
+			fmt.Printf("median speedup: small objects %.1fx, large objects %.1fx\n\n",
+				r.SmallObjectSpeedup(), r.LargeObjectSpeedup())
+		},
+		"tfrc": func() {
+			fmt.Println(experiments.RunTFRCComparison(s, *seed).Table())
+		},
+		"ablation": func() {
+			fmt.Println(experiments.RunAblation(s, *seed).Table())
+		},
+		"iw": func() {
+			fmt.Println(experiments.RunInitialWindow(s, *seed).Table())
+		},
+		"subpacket": func() {
+			fmt.Println(experiments.RunSubPacketTCP(s, *seed).Table())
+		},
+		"pcap": func() {
+			fmt.Println(experiments.RunPcapAnalysis(topology.DropTail, s, *seed).Table())
+			fmt.Println(experiments.RunPcapAnalysis(topology.TAQ, s, *seed).Table())
+		},
+		"tbweb": func() {
+			r := experiments.RunTestbedWeb(experiments.TestbedWebOptions{
+				Speedup:         30,
+				VirtualDuration: sim.Time(float64(*scale) * float64(600*sim.Second)),
+				Seed:            *seed,
+			})
+			fmt.Println(r.Table())
+		},
+	}
+	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "pcap", "tbweb"}
+
+	want := map[string]bool{}
+	if *list == "all" {
+		for _, k := range order {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*list, ",") {
+			k = strings.TrimSpace(k)
+			if _, ok := runners[k]; !ok {
+				fail(fmt.Errorf("unknown experiment %q", k))
+			}
+			want[k] = true
+		}
+	}
+	for _, k := range order {
+		if !want[k] {
+			continue
+		}
+		fmt.Printf("=== %s (scale %.2f) ===\n", k, *scale)
+		start := time.Now()
+		runners[k]()
+		fmt.Printf("[%s took %.1fs]\n\n", k, time.Since(start).Seconds())
+	}
+}
+
+// renderable is any result offering both renderings.
+type renderable interface {
+	Table() string
+	CSV() string
+}
+
+func render(r renderable, csv bool) string {
+	if csv {
+		return r.CSV()
+	}
+	return r.Table()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "taqbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command taqmbox runs the real-time middlebox prototype: the same TAQ
+// implementation that runs in the simulator, driven by wall-clock
+// timers over an emulated constrained link (the paper's §5.4 testbed
+// configuration), and reports fairness live.
+//
+// Example:
+//
+//	taqmbox -bw 600e3 -flows 40 -taq -duration 30 -speedup 10
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"taq/internal/emu"
+	"taq/internal/link"
+	"taq/internal/sim"
+)
+
+func main() {
+	var (
+		bw       = flag.Float64("bw", 600e3, "emulated bottleneck bandwidth (bits/second)")
+		flows    = flag.Int("flows", 40, "number of long-lived downloads")
+		useTAQ   = flag.Bool("taq", false, "use the TAQ middlebox instead of DropTail")
+		duration = flag.Float64("duration", 60, "virtual seconds to run")
+		speedup  = flag.Float64("speedup", 10, "virtual-to-wall time ratio")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	virtual := sim.FromSeconds(*duration)
+	tb := emu.NewTestbed(emu.TestbedConfig{
+		Seed:       *seed,
+		Speedup:    *speedup,
+		Bandwidth:  link.Bps(*bw),
+		UseTAQ:     *useTAQ,
+		SliceWidth: virtual / 4,
+	})
+	for i := 0; i < *flows; i++ {
+		tb.AddBulkFlow()
+	}
+	queue := "droptail"
+	if *useTAQ {
+		queue = "taq"
+	}
+	fmt.Printf("middlebox=%s bandwidth=%.0fbps flows=%d (%.0fx speedup, %.1fs wall)\n",
+		queue, *bw, *flows, *speedup, *duration / *speedup)
+
+	step := virtual / 4
+	for i := 1; i <= 4; i++ {
+		tb.RunFor(step)
+		tb.Snapshot(func() {
+			slices := i
+			loss := 0.0
+			if tb.QueueArrivals > 0 {
+				loss = float64(tb.QueueDrops) / float64(tb.QueueArrivals)
+			}
+			fmt.Printf("t=%4.0fs  shortJFI=%.3f  loss=%.3f  arrivals=%d\n",
+				(sim.Time(i) * step).Seconds(), tb.Slicer.MeanSliceJFI(0, slices), loss, tb.QueueArrivals)
+		})
+	}
+	tb.Stop()
+}

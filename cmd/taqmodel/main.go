@@ -1,0 +1,83 @@
+// Command taqmodel prints the idealized Markov models of §3.1: the
+// stationary distribution of the partial (Fig 4) or full (Fig 5) chain
+// at given loss probabilities, the closed-form expected idle time, and
+// the timeout tipping point that motivates TAQ's admission threshold.
+//
+// Example:
+//
+//	taqmodel -p 0.05,0.1,0.2,0.3 -wmax 6 -full -stages 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"taq/internal/markov"
+)
+
+func main() {
+	var (
+		pList  = flag.String("p", "0.05,0.1,0.15,0.2,0.25,0.3", "comma-separated loss probabilities")
+		wmax   = flag.Int("wmax", 6, "maximum congestion window in the model")
+		full   = flag.Bool("full", false, "use the full model with explicit backoff stages")
+		stages = flag.Int("stages", 4, "backoff stages in the full model")
+		dot    = flag.Bool("dot", false, "emit the chain as Graphviz DOT (first -p value only)")
+	)
+	flag.Parse()
+
+	var ps []float64
+	for _, s := range strings.Split(*pList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taqmodel: bad probability:", s)
+			os.Exit(1)
+		}
+		ps = append(ps, v)
+	}
+
+	for _, p := range ps {
+		var (
+			chain *markov.Chain
+			err   error
+		)
+		if *full {
+			chain, err = markov.FullModel(p, *wmax, *stages)
+		} else {
+			chain, err = markov.PartialModel(p, *wmax)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taqmodel:", err)
+			os.Exit(1)
+		}
+		if *dot {
+			fmt.Print(chain.DOT(fmt.Sprintf("taq_p%.3f", p)))
+			return
+		}
+		pi, err := chain.Stationary()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taqmodel:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("p = %.3f\n", p)
+		for i, label := range chain.Labels {
+			fmt.Printf("  %-6s %.4f\n", label, pi[i])
+		}
+		dist := chain.SentDistribution(pi)
+		fmt.Printf("  packets-sent classes:")
+		for k := 0; k <= *wmax; k++ {
+			fmt.Printf(" %d:%.3f", k, dist[k])
+		}
+		fmt.Printf("\n  timeout mass: %.3f   E[idle epochs]: %.2f\n\n",
+			chain.TimeoutMass(pi), markov.ExpectedIdleEpochs(p))
+	}
+
+	tp, err := markov.TippingPoint(0.5, *wmax)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taqmodel:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tipping point (timeout mass ≥ 0.5): p = %.3f\n", tp)
+}

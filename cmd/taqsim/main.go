@@ -1,0 +1,77 @@
+// Command taqsim runs a single dumbbell scenario — N TCP flows through
+// a bottleneck under a chosen queue discipline — and reports the
+// fairness, loss, utilization and flow-evolution metrics the paper
+// uses.
+//
+// Example:
+//
+//	taqsim -bw 600e3 -flows 120 -queue taq -duration 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/tcp"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+func main() {
+	var (
+		bw       = flag.Float64("bw", 600e3, "bottleneck bandwidth (bits/second)")
+		flows    = flag.Int("flows", 60, "number of long-running flows")
+		queue    = flag.String("queue", "droptail", "queue discipline: droptail|red|sfq|taq")
+		duration = flag.Float64("duration", 400, "simulated seconds")
+		slice    = flag.Float64("slice", 20, "fairness slice width (seconds)")
+		rtt      = flag.Float64("rtt", 0.2, "propagation RTT (seconds)")
+		jitter   = flag.Float64("jitter", 0.25, "per-flow RTT jitter fraction")
+		buffer   = flag.Int("buffer", 0, "bottleneck buffer (packets, 0 = one RTT)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		sack     = flag.Bool("sack", false, "use SACK recovery instead of NewReno")
+		iw       = flag.Float64("iw", 2, "initial congestion window (segments)")
+	)
+	flag.Parse()
+
+	tcpCfg := tcp.DefaultConfig()
+	tcpCfg.SACK = *sack
+	tcpCfg.InitialCwnd = *iw
+	net, err := topology.New(topology.Config{
+		Seed:          *seed,
+		Bandwidth:     link.Bps(*bw),
+		PropRTT:       sim.FromSeconds(*rtt),
+		RTTJitter:     *jitter,
+		BufferPackets: *buffer,
+		Queue:         topology.QueueKind(*queue),
+		TCP:           tcpCfg,
+		SliceWidth:    sim.FromSeconds(*slice),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taqsim:", err)
+		os.Exit(1)
+	}
+	workload.AddBulkFlows(net, *flows, 50*sim.Millisecond)
+	net.Run(sim.FromSeconds(*duration))
+
+	slices := int(sim.FromSeconds(*duration) / net.Slicer.Width())
+	to, rep := net.AggregateTimeouts()
+	fmt.Printf("queue=%s bandwidth=%.0fbps flows=%d duration=%.0fs\n", *queue, *bw, *flows, *duration)
+	fmt.Printf("fair share       : %.0f bps (%.2f pkts/RTT)\n",
+		net.FairSharePerFlow(), net.FairSharePerFlow()**rtt/8/float64(tcpCfg.MSS))
+	fmt.Printf("short-term JFI   : %.3f (%.0fs slices)\n", net.Slicer.MeanSliceJFI(1, slices), *slice)
+	fmt.Printf("long-term JFI    : %.3f\n", net.Slicer.TotalJFI(1, slices))
+	fmt.Printf("utilization      : %.3f\n", net.Utilization())
+	fmt.Printf("queue loss rate  : %.3f\n", net.LossRate())
+	fmt.Printf("timeouts         : %d (%d repetitive)\n", to, rep)
+	ev := net.Slicer.Evolution(1, slices)
+	fmt.Printf("flow evolution   : maintained=%.1f stalled=%.1f (mean/slice)\n",
+		ev.MeanMaintained(), ev.MeanStalled())
+	if net.Middlebox != nil {
+		fmt.Printf("middlebox        : lossRate=%.3f activeFlows=%d\n",
+			net.Middlebox.LossRate(), net.Middlebox.ActiveFlows())
+		fmt.Printf("state census     : %v\n", net.Middlebox.StateCensus())
+	}
+}

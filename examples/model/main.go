@@ -1,0 +1,71 @@
+// Model explores the paper's idealized Markov models (§3.1) through
+// the public API: stationary distributions over window and timeout
+// states, the packets-per-epoch classes of Fig 6, expected idle time
+// in repetitive timeouts, model throughput, and the loss tipping point
+// that sets TAQ's admission threshold.
+package main
+
+import (
+	"fmt"
+
+	"taq"
+)
+
+func main() {
+	fmt.Println("Idealized TCP model in small packet regimes (Wmax = 6)")
+	fmt.Println()
+	fmt.Printf("%-6s  %-12s  %-12s  %-14s  %s\n",
+		"p", "timeout mass", "E[idle epoch]", "pkts/epoch", "top states")
+	for _, p := range []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4} {
+		chain, err := taq.PartialModel(p, 6)
+		if err != nil {
+			panic(err)
+		}
+		pi, err := chain.Stationary()
+		if err != nil {
+			panic(err)
+		}
+		// The two most likely states tell the story at a glance.
+		best, second := 0, 0
+		for i := range pi {
+			if pi[i] > pi[best] {
+				second = best
+				best = i
+			} else if pi[i] > pi[second] || second == best {
+				second = i
+			}
+		}
+		fmt.Printf("%-6.2f  %-12.3f  %-13.2f  %-14.2f  %s %.2f, %s %.2f\n",
+			p, chain.TimeoutMass(pi), taq.ExpectedIdleEpochs(p),
+			chain.ExpectedThroughput(pi),
+			chain.Labels[best], pi[best], chain.Labels[second], pi[second])
+	}
+
+	tp, err := taq.TippingPoint(0.5, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nhalf the stationary mass sits in timeout states beyond p = %.3f\n", tp)
+	fmt.Println("(the knee behind TAQ's admission threshold p_thresh ≈ 0.1, §4.3)")
+
+	// The full model separates backoff stages; show how deep-backoff
+	// occupancy grows with p.
+	fmt.Println("\nFull model: probability of being ≥2 backoffs deep")
+	for _, p := range []float64{0.1, 0.2, 0.3} {
+		chain, err := taq.FullModel(p, 6, 4)
+		if err != nil {
+			panic(err)
+		}
+		pi, err := chain.Stationary()
+		if err != nil {
+			panic(err)
+		}
+		deep := 0.0
+		for i, label := range chain.Labels {
+			if label == "B2" || label == "B3" || label == "B4" {
+				deep += pi[i]
+			}
+		}
+		fmt.Printf("  p=%.2f: %.3f\n", p, deep)
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: 60 TCP flows share a 600 Kbps bottleneck — a fair share
+// of 10 Kbps, or half a packet per RTT: a small packet regime. The
+// same scenario runs under DropTail and under the TAQ middlebox, and
+// the short-term Jain Fairness Index shows the difference the paper's
+// Figs 2 and 8 report.
+package main
+
+import (
+	"fmt"
+
+	"taq"
+)
+
+func main() {
+	const (
+		bandwidth = 600 * taq.Kbps
+		flows     = 60
+		duration  = 200 * taq.Second
+	)
+	for _, queue := range []taq.QueueKind{taq.QueueDropTail, taq.QueueTAQ} {
+		net := taq.NewNetwork(taq.NetworkConfig{
+			Seed:      1,
+			Bandwidth: bandwidth,
+			Queue:     queue,
+			RTTJitter: 0.25,
+		})
+		taq.AddBulkFlows(net, flows, 50*taq.Millisecond)
+		net.Run(duration)
+
+		slices := int(duration / net.Slicer.Width())
+		timeouts, repetitive := net.AggregateTimeouts()
+		fmt.Printf("%-9s shortJFI=%.3f longJFI=%.3f util=%.2f loss=%.3f timeouts=%d (repetitive %d)\n",
+			queue,
+			net.Slicer.MeanSliceJFI(1, slices),
+			net.Slicer.TotalJFI(1, slices),
+			net.Utilization(),
+			net.LossRate(),
+			timeouts, repetitive)
+	}
+}

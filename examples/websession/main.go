@@ -1,0 +1,43 @@
+// Websession reproduces the §2.3 user experience analysis: 200 users,
+// each with a pool of 4 browser connections, share a 1 Mbps link. A
+// "user-perceived hang" is an interval in which none of a user's
+// connections delivers a byte. DropTail leaves most users staring at a
+// frozen page for tens of seconds; TAQ nearly eliminates long hangs.
+package main
+
+import (
+	"fmt"
+
+	"taq"
+)
+
+func main() {
+	const (
+		users    = 200
+		conns    = 4
+		duration = 400 * taq.Second
+	)
+	for _, queue := range []taq.QueueKind{taq.QueueDropTail, taq.QueueTAQ} {
+		net := taq.NewNetwork(taq.NetworkConfig{
+			Seed:      7,
+			Bandwidth: 1000 * taq.Kbps,
+			Queue:     queue,
+			RTTJitter: 0.25,
+		})
+		// Each user opens `conns` long-running connections, like a
+		// browser loading a heavy page.
+		for u := 0; u < users; u++ {
+			for c := 0; c < conns; c++ {
+				net.AddFlow(taq.PoolID(u), taq.BulkApp{}, taq.Time(u)*25*taq.Millisecond)
+			}
+		}
+		net.Run(duration)
+		net.Hangs.Finish(duration)
+
+		fmt.Printf("%-9s users with a >5s hang: %4.0f%%   >20s: %4.0f%%   >60s: %4.0f%%\n",
+			queue,
+			100*net.Hangs.FractionExceeding(5*taq.Second),
+			100*net.Hangs.FractionExceeding(20*taq.Second),
+			100*net.Hangs.FractionExceeding(60*taq.Second))
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taq/internal/core"
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// AblationPoint measures one TAQ variant on the Fig 9 scenario.
+type AblationPoint struct {
+	Variant        string
+	ShortJFI       float64
+	MeanStalled    float64
+	MeanMaintained float64
+	RepetitiveTOs  uint64
+	LossRate       float64
+}
+
+// AblationResult compares full TAQ against variants with one design
+// element removed (the design choices DESIGN.md calls out), plus the
+// DropTail floor.
+type AblationResult struct {
+	Points []AblationPoint
+}
+
+// RunAblation runs 120 flows over 600 Kbps under each variant.
+func RunAblation(scale Scale, seed int64) AblationResult {
+	if seed == 0 {
+		seed = 1
+	}
+	duration := scale.duration(800*sim.Second, 200*sim.Second)
+	const bw = 600 * link.Kbps
+	variants := []struct {
+		name   string
+		mut    func(*core.Config)
+		qk     topology.QueueKind
+		twoWay bool
+	}{
+		{"taq-full", func(*core.Config) {}, topology.TAQ, false},
+		{"no-recovery-priority", func(c *core.Config) { c.NoRecoveryPriority = true }, topology.TAQ, false},
+		{"no-occupancy-drops", func(c *core.Config) { c.NoOccupancyDrops = true }, topology.TAQ, false},
+		{"no-recovery-protection", func(c *core.Config) { c.NoRecoveryProtection = true }, topology.TAQ, false},
+		{"proportional-fairness", func(c *core.Config) { c.Fairness = core.Proportional }, topology.TAQ, false},
+		{"two-way-observation", func(*core.Config) {}, topology.TAQ, true},
+		{"droptail", nil, topology.DropTail, false},
+	}
+
+	var res AblationResult
+	for _, v := range variants {
+		cfg := topology.Config{
+			Seed:              seed,
+			Bandwidth:         bw,
+			Queue:             v.qk,
+			RTTJitter:         0.25,
+			TwoWayObservation: v.twoWay,
+		}
+		if v.mut != nil {
+			tcfg := core.DefaultConfig(bw, 0)
+			v.mut(&tcfg)
+			cfg.TAQ = &tcfg
+		}
+		net := topology.MustNew(cfg)
+		workload.AddBulkFlows(net, 120, 50*sim.Millisecond)
+		net.Run(duration)
+
+		slices := int(duration / net.Slicer.Width())
+		ev := net.Slicer.Evolution(2, slices)
+		_, rep := net.AggregateTimeouts()
+		res.Points = append(res.Points, AblationPoint{
+			Variant:        v.name,
+			ShortJFI:       net.Slicer.MeanSliceJFI(2, slices),
+			MeanStalled:    ev.MeanStalled(),
+			MeanMaintained: ev.MeanMaintained(),
+			RepetitiveTOs:  rep,
+			LossRate:       net.LossRate(),
+		})
+	}
+	return res
+}
+
+// Table renders the ablation.
+func (r AblationResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Variant,
+			f3(p.ShortJFI),
+			f1(p.MeanStalled),
+			f1(p.MeanMaintained),
+			fmt.Sprintf("%d", p.RepetitiveTOs),
+			f3(p.LossRate),
+		})
+	}
+	return table([]string{"variant", "shortJFI", "stalled", "maintained", "repetitiveTO", "loss"}, rows)
+}
+
+// Point returns the named variant's measurements.
+func (r AblationResult) Point(variant string) (AblationPoint, bool) {
+	for _, p := range r.Points {
+		if p.Variant == variant {
+			return p, true
+		}
+	}
+	return AblationPoint{}, false
+}

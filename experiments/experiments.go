@@ -1,0 +1,94 @@
+// Package experiments contains one runner per table/figure of the
+// paper's evaluation, each reproducing the corresponding workload,
+// parameter sweep and measurement, and printing the same rows/series
+// the paper reports. Every runner takes a scale factor that shrinks
+// run durations (and, where safe, sweep sizes) so the suite doubles as
+// a fast regression test; cmd/taqbench runs it at any scale, and
+// bench_test.go pins one benchmark per figure.
+//
+// The experiment-to-module map lives in DESIGN.md §3; paper-vs-measured
+// results are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"taq/internal/sim"
+)
+
+// Scale shrinks experiment durations and sweep sizes. 1.0 is paper
+// scale; the test suite and benches run around 0.02–0.1.
+type Scale float64
+
+// duration scales d, enforcing a floor.
+func (s Scale) duration(d, floor sim.Time) sim.Time {
+	scaled := sim.Time(float64(d) * float64(s))
+	if scaled < floor {
+		return floor
+	}
+	return scaled
+}
+
+// count scales an integer count with a floor.
+func (s Scale) count(n, floor int) int {
+	scaled := int(float64(n) * float64(s))
+	if scaled < floor {
+		return floor
+	}
+	return scaled
+}
+
+// table renders rows as a fixed-width text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// csvTable renders rows as RFC-4180-ish CSV (fields here never contain
+// commas or quotes).
+func csvTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

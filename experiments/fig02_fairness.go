@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/tcp"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// FairnessPoint is one point of the JFI-vs-fair-share curves in
+// Figs 2, 8 and 11.
+type FairnessPoint struct {
+	Bandwidth    link.Bps
+	Flows        int
+	FairShareBps float64
+	ShortJFI     float64 // mean Jain index over 20 s slices
+	LongJFI      float64 // Jain index of whole-run totals
+	Utilization  float64
+	LossRate     float64
+}
+
+// FairnessResult is a full sweep.
+type FairnessResult struct {
+	Queue  topology.QueueKind
+	Points []FairnessPoint
+}
+
+// FairnessConfig controls the sweep shared by Figs 2 and 8.
+type FairnessConfig struct {
+	Queue topology.QueueKind
+	// Bandwidths to sweep (default: the paper's 200..1000 Kbps).
+	Bandwidths []link.Bps
+	// FairShares are the target per-flow shares (bps) that set N.
+	FairShares []float64
+	Seed       int64
+}
+
+func defaultFairnessConfig(qk topology.QueueKind) FairnessConfig {
+	return FairnessConfig{
+		Queue:      qk,
+		Bandwidths: []link.Bps{200 * link.Kbps, 400 * link.Kbps, 600 * link.Kbps, 800 * link.Kbps, 1000 * link.Kbps},
+		FairShares: []float64{2500, 5000, 10000, 20000, 30000, 40000, 50000},
+		Seed:       1,
+	}
+}
+
+// RunFairness runs the JFI-vs-fair-share sweep (Fig 2 with DropTail /
+// RED / SFQ, Fig 8 with TAQ). Scale 1 uses 400-second runs per point
+// (the paper slices long steady-state runs into 20 s windows).
+func RunFairness(cfg FairnessConfig, scale Scale) FairnessResult {
+	if cfg.Bandwidths == nil || cfg.FairShares == nil {
+		d := defaultFairnessConfig(cfg.Queue)
+		if cfg.Bandwidths == nil {
+			cfg.Bandwidths = d.Bandwidths
+		}
+		if cfg.FairShares == nil {
+			cfg.FairShares = d.FairShares
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	duration := scale.duration(400*sim.Second, 80*sim.Second)
+	res := FairnessResult{Queue: cfg.Queue}
+	for _, bw := range cfg.Bandwidths {
+		for _, share := range cfg.FairShares {
+			n := int(float64(bw) / share)
+			if n < 2 {
+				continue
+			}
+			res.Points = append(res.Points, fairnessPoint(cfg, bw, n, duration))
+		}
+	}
+	return res
+}
+
+func fairnessPoint(cfg FairnessConfig, bw link.Bps, n int, duration sim.Time) FairnessPoint {
+	tcpCfg := tcp.DefaultConfig()
+	net := topology.MustNew(topology.Config{
+		Seed:      cfg.Seed,
+		Bandwidth: bw,
+		Queue:     cfg.Queue,
+		RTTJitter: 0.25, // variable RTTs, as in the paper's validation runs
+		TCP:       tcpCfg,
+	})
+	workload.AddBulkFlows(net, n, 50*sim.Millisecond)
+	net.Run(duration)
+
+	warmup := 1 // skip the first slice (slow-start transient)
+	slices := int(duration / net.Slicer.Width())
+	return FairnessPoint{
+		Bandwidth:    bw,
+		Flows:        n,
+		FairShareBps: float64(bw) / float64(n),
+		ShortJFI:     net.Slicer.MeanSliceJFI(warmup, slices),
+		LongJFI:      net.Slicer.TotalJFI(warmup, slices),
+		Utilization:  net.Utilization(),
+		LossRate:     net.LossRate(),
+	}
+}
+
+// RunLongTermFairness reproduces Fig 2's long-slice curves: the same
+// contention levels measured over one long window (paper: 10000 s at
+// 200 and 1000 Kbps).
+func RunLongTermFairness(qk topology.QueueKind, scale Scale) FairnessResult {
+	cfg := defaultFairnessConfig(qk)
+	duration := scale.duration(10000*sim.Second, 200*sim.Second)
+	res := FairnessResult{Queue: qk}
+	for _, bw := range []link.Bps{200 * link.Kbps, 1000 * link.Kbps} {
+		for _, share := range cfg.FairShares {
+			n := int(float64(bw) / share)
+			if n < 2 {
+				continue
+			}
+			p := fairnessPoint(cfg, bw, n, duration)
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res
+}
+
+func (r FairnessResult) rows() (header []string, rows [][]string) {
+	header = []string{"bandwidth", "flows", "fairshare(bps)", "shortJFI", "longJFI", "util", "loss"}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0fKbps", float64(p.Bandwidth)/1e3),
+			fmt.Sprintf("%d", p.Flows),
+			fmt.Sprintf("%.0f", p.FairShareBps),
+			f3(p.ShortJFI),
+			f3(p.LongJFI),
+			f2(p.Utilization),
+			f3(p.LossRate),
+		})
+	}
+	return
+}
+
+// Table renders the sweep in the paper's axes.
+func (r FairnessResult) Table() string {
+	h, rows := r.rows()
+	return fmt.Sprintf("Queue: %s\n", r.Queue) + table(h, rows)
+}
+
+// CSV renders the sweep as comma-separated values for plotting.
+func (r FairnessResult) CSV() string {
+	h, rows := r.rows()
+	return csvTable(h, rows)
+}
+
+// PointsBelow returns the points whose fair share is below the given
+// bps (e.g. the sub-3-packet regime where short-term fairness
+// collapses).
+func (r FairnessResult) PointsBelow(bps float64) []FairnessPoint {
+	var out []FairnessPoint
+	for _, p := range r.Points {
+		if p.FairShareBps < bps {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MeanShortJFI averages the short-term JFI over the given points.
+func MeanShortJFI(pts []FairnessPoint) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range pts {
+		s += p.ShortJFI
+	}
+	return s / float64(len(pts))
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// BufferPoint is one point of Fig 3: the short-term fairness achieved
+// by a DropTail buffer of the given size (in RTTs) at a given per-flow
+// fair share (in packets per RTT).
+type BufferPoint struct {
+	FairSharePktsPerRTT float64
+	BufferRTTs          float64
+	ShortJFI            float64
+	QueueDelayMax       sim.Time // worst-case queueing delay this buffer implies
+	// MeasuredDelayP90 is the observed 90th-percentile queueing delay
+	// in seconds — the latency actually paid for the buffer.
+	MeasuredDelayP90 float64
+}
+
+// BufferResult is the Fig 3 sweep.
+type BufferResult struct {
+	Points []BufferPoint
+}
+
+// RunBufferTradeoff reproduces Fig 3: for fair shares of 0.25, 0.5, 1
+// and 1.25 packets/RTT, sweep the DropTail buffer from 1 to 5 RTTs and
+// measure the 20 s-slice Jain index. The paper's reading: restoring
+// fairness by buffering alone needs multi-RTT buffers whose queueing
+// delay is unacceptable (§2.4).
+func RunBufferTradeoff(scale Scale, seed int64) BufferResult {
+	const (
+		bw      = 1000 * link.Kbps
+		rtt     = 200 * sim.Millisecond
+		mss     = 500
+		pktsRTT = float64(bw) * 0.2 / 8 / mss // packets per RTT at capacity
+	)
+	if seed == 0 {
+		seed = 1
+	}
+	duration := scale.duration(400*sim.Second, 80*sim.Second)
+	shareUnit := float64(mss) * 8 / rtt.Seconds() // bps per pkt/RTT
+	var res BufferResult
+	for _, share := range []float64{0.25, 0.5, 1.0, 1.25} {
+		n := int(float64(bw) / (share * shareUnit))
+		for _, bufRTTs := range []float64{1, 2, 3, 4, 5} {
+			bufPkts := int(bufRTTs * pktsRTT)
+			net := topology.MustNew(topology.Config{
+				Seed:          seed,
+				Bandwidth:     bw,
+				PropRTT:       rtt,
+				Queue:         topology.DropTail,
+				BufferPackets: bufPkts,
+				RTTJitter:     0.25,
+			})
+			workload.AddBulkFlows(net, n, 50*sim.Millisecond)
+			net.Run(duration)
+			slices := int(duration / net.Slicer.Width())
+			res.Points = append(res.Points, BufferPoint{
+				FairSharePktsPerRTT: share,
+				BufferRTTs:          bufRTTs,
+				ShortJFI:            net.Slicer.MeanSliceJFI(1, slices),
+				QueueDelayMax:       bw.TxTime(mss * bufPkts),
+				MeasuredDelayP90:    net.QueueDelays.Percentile(90),
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the sweep.
+func (r BufferResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			f2(p.FairSharePktsPerRTT),
+			f1(p.BufferRTTs),
+			f3(p.ShortJFI),
+			fmt.Sprintf("%.1fs", p.QueueDelayMax.Seconds()),
+			fmt.Sprintf("%.2fs", p.MeasuredDelayP90),
+		})
+	}
+	return table([]string{"fairshare(pkt/RTT)", "buffer(RTTs)", "shortJFI", "maxQdelay", "p90Qdelay"}, rows)
+}
+
+// RequiredBuffer returns, for each fair share, the smallest buffer (in
+// RTTs) achieving the target JFI, or -1 if none did — Fig 3's y-axis.
+func (r BufferResult) RequiredBuffer(targetJFI float64) map[float64]float64 {
+	out := make(map[float64]float64)
+	for _, p := range r.Points {
+		if _, ok := out[p.FairSharePktsPerRTT]; !ok {
+			out[p.FairSharePktsPerRTT] = -1
+		}
+		if p.ShortJFI >= targetJFI {
+			if cur := out[p.FairSharePktsPerRTT]; cur < 0 || p.BufferRTTs < cur {
+				out[p.FairSharePktsPerRTT] = p.BufferRTTs
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// ShortFlowPoint is one short flow's outcome (Fig 10).
+type ShortFlowPoint struct {
+	Packets      int
+	DownloadSecs float64
+	Done         bool
+}
+
+// ShortFlowResult is the Fig 10 reproduction.
+type ShortFlowResult struct {
+	Queue  topology.QueueKind
+	Points []ShortFlowPoint
+}
+
+// RunShortFlows reproduces Fig 10: 32 short flows of 2–80 packets
+// injected against 50 long-running background flows on a 1 Mbps
+// bottleneck (20 Kbps fair share). Under TAQ the NewFlow queue gives
+// short flows predictable, roughly size-linear download times.
+func RunShortFlows(qk topology.QueueKind, scale Scale, seed int64) ShortFlowResult {
+	if seed == 0 {
+		seed = 1
+	}
+	warm := scale.duration(100*sim.Second, 40*sim.Second)
+	net := topology.MustNew(topology.Config{
+		Seed:      seed,
+		Bandwidth: 1000 * link.Kbps,
+		Queue:     qk,
+		RTTJitter: 0.25,
+	})
+	workload.AddBulkFlows(net, 50, 50*sim.Millisecond)
+
+	// 32 short flows with sizes spread across 2..80 packets, injected
+	// one per 5 seconds once the background is warm.
+	var results []*workload.ShortFlowResult
+	for i := 0; i < 32; i++ {
+		size := 2 + (78*i)/31
+		at := warm + sim.Time(i)*5*sim.Second
+		results = append(results, workload.AddShortFlow(net, size, at))
+	}
+	endOfInjection := warm + 32*5*sim.Second
+	net.Run(endOfInjection + 120*sim.Second)
+
+	res := ShortFlowResult{Queue: qk}
+	for _, r := range results {
+		p := ShortFlowPoint{Packets: r.Segments, Done: r.Done}
+		if r.Done {
+			p.DownloadSecs = r.Duration().Seconds()
+		}
+		res.Points = append(res.Points, p)
+	}
+	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].Packets < res.Points[j].Packets })
+	return res
+}
+
+// Table renders size vs download time.
+func (r ShortFlowResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		d := "DNF"
+		if p.Done {
+			d = f2(p.DownloadSecs)
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", p.Packets), d})
+	}
+	return fmt.Sprintf("Queue: %s\n", r.Queue) +
+		table([]string{"packets", "download(s)"}, rows)
+}
+
+// CompletedFraction returns the fraction of short flows that finished.
+func (r ShortFlowResult) CompletedFraction() float64 {
+	done := 0
+	for _, p := range r.Points {
+		if p.Done {
+			done++
+		}
+	}
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return float64(done) / float64(len(r.Points))
+}
+
+// Correlation returns the Pearson correlation between flow size and
+// download time over completed flows — Fig 10's "roughly linear"
+// reading implies a strong positive correlation under TAQ.
+func (r ShortFlowResult) Correlation() float64 {
+	var xs, ys []float64
+	for _, p := range r.Points {
+		if p.Done {
+			xs = append(xs, float64(p.Packets))
+			ys = append(ys, p.DownloadSecs)
+		}
+	}
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taq/internal/link"
+	"taq/internal/packet"
+	"taq/internal/sim"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// HangPoint summarizes user-perceived hangs for one population size
+// (§2.3's in-text experiment: 1 Mbps, RTT 200 ms, 50-packet buffer,
+// 4 connections per user).
+type HangPoint struct {
+	Users        int
+	ConnsPerUser int
+	FracOver20s  float64
+	FracOver60s  float64
+	MaxHang      sim.Time
+}
+
+// HangResult holds the §2.3 hang experiment for several populations.
+type HangResult struct {
+	Queue  topology.QueueKind
+	Points []HangPoint
+}
+
+// RunHangTimes reproduces §2.3: users each spawn a pool of TCP
+// connections sharing a 1 Mbps bottleneck; a user-perceived hang is an
+// interval in which none of the user's connections delivers data.
+// Paper: with 200 users all users hang >20 s at least once; with 400
+// users ~50% hang >1 minute.
+func RunHangTimes(qk topology.QueueKind, scale Scale, seed int64) HangResult {
+	if seed == 0 {
+		seed = 1
+	}
+	duration := scale.duration(1000*sim.Second, 400*sim.Second)
+	res := HangResult{Queue: qk}
+	for _, users := range []int{200, 400} {
+		n := topology.MustNew(topology.Config{
+			Seed:      seed,
+			Bandwidth: 1000 * link.Kbps,
+			PropRTT:   200 * sim.Millisecond,
+			Queue:     qk,
+			RTTJitter: 0.25,
+		})
+		workload.WebUserPool(n, users, 4, 5*sim.Second)
+		n.Run(duration)
+		n.Hangs.Finish(n.Engine.Now())
+		var maxHang sim.Time
+		for u := 0; u < users; u++ {
+			if h := n.Hangs.MaxHang(packet.PoolID(u)); h > maxHang {
+				maxHang = h
+			}
+		}
+		res.Points = append(res.Points, HangPoint{
+			Users:        users,
+			ConnsPerUser: 4,
+			FracOver20s:  n.Hangs.FractionExceeding(20 * sim.Second),
+			FracOver60s:  n.Hangs.FractionExceeding(60 * sim.Second),
+			MaxHang:      maxHang,
+		})
+	}
+	return res
+}
+
+// Table renders the hang summary.
+func (r HangResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Users),
+			fmt.Sprintf("%d", p.ConnsPerUser),
+			f2(p.FracOver20s),
+			f2(p.FracOver60s),
+			fmt.Sprintf("%.0fs", p.MaxHang.Seconds()),
+		})
+	}
+	return fmt.Sprintf("Queue: %s\n", r.Queue) +
+		table([]string{"users", "conns", ">20s hang", ">60s hang", "max hang"}, rows)
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/tcp"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// IWPoint measures one (variant, initial window, queue) combination in
+// the flow-initiation experiment.
+type IWPoint struct {
+	Label        string
+	Queue        topology.QueueKind
+	MedianSecs   float64
+	P90Secs      float64
+	TimeoutFrac  float64 // fraction of short flows that hit ≥1 RTO
+	CompleteFrac float64
+}
+
+// IWResult is the §2.1 initial-window experiment.
+type IWResult struct {
+	Points []IWPoint
+}
+
+// RunInitialWindow probes §2.1's observation that with modern stacks
+// (CUBIC, initial window 10) the congestion effect of SPK(k<10)
+// regimes "is typically observed at flow initiation time due to packet
+// losses": short flows opening with IW10 into a busy link blast a
+// window the fair share cannot absorb. We compare IW2 NewReno against
+// IW10 CUBIC short flows joining 40 background flows on 1 Mbps
+// (≈1.25 pkt/RTT fair share), under DropTail and TAQ.
+func RunInitialWindow(scale Scale, seed int64) IWResult {
+	if seed == 0 {
+		seed = 1
+	}
+	warm := scale.duration(100*sim.Second, 40*sim.Second)
+	variants := []struct {
+		label   string
+		variant tcp.Variant
+		iw      float64
+	}{
+		{"newreno-iw2", tcp.VariantNewReno, 2},
+		{"cubic-iw10", tcp.VariantCubic, 10},
+	}
+	var res IWResult
+	for _, qk := range []topology.QueueKind{topology.DropTail, topology.TAQ} {
+		for _, v := range variants {
+			tcpCfg := tcp.DefaultConfig()
+			tcpCfg.Variant = v.variant
+			tcpCfg.InitialCwnd = v.iw
+			net := topology.MustNew(topology.Config{
+				Seed:      seed,
+				Bandwidth: 1000 * link.Kbps,
+				Queue:     qk,
+				RTTJitter: 0.25,
+				TCP:       tcpCfg,
+			})
+			workload.AddBulkFlows(net, 40, 50*sim.Millisecond)
+			var shorts []*workload.ShortFlowResult
+			for i := 0; i < 24; i++ {
+				at := warm + sim.Time(i)*4*sim.Second
+				shorts = append(shorts, workload.AddShortFlow(net, 20, at))
+			}
+			net.Run(warm + 24*4*sim.Second + 120*sim.Second)
+
+			pt := IWPoint{Label: v.label, Queue: qk}
+			var times []float64
+			timeouts := 0
+			for _, r := range shorts {
+				f := net.Flow(r.Flow)
+				if f.Sender.Stats.Timeouts > 0 {
+					timeouts++
+				}
+				if r.Done {
+					times = append(times, r.Duration().Seconds())
+				}
+			}
+			pt.TimeoutFrac = float64(timeouts) / float64(len(shorts))
+			pt.CompleteFrac = float64(len(times)) / float64(len(shorts))
+			if len(times) > 0 {
+				var c cdfOf
+				for _, v := range times {
+					c.add(v)
+				}
+				pt.MedianSecs = c.pct(50)
+				pt.P90Secs = c.pct(90)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res
+}
+
+// cdfOf is a tiny local percentile helper (avoids importing metrics
+// for two numbers).
+type cdfOf struct{ v []float64 }
+
+func (c *cdfOf) add(x float64) {
+	i := 0
+	for i < len(c.v) && c.v[i] < x {
+		i++
+	}
+	c.v = append(c.v, 0)
+	copy(c.v[i+1:], c.v[i:])
+	c.v[i] = x
+}
+
+func (c *cdfOf) pct(p float64) float64 {
+	if len(c.v) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(c.v)-1))
+	return c.v[i]
+}
+
+// Table renders the experiment.
+func (r IWResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			string(p.Queue), p.Label,
+			f2(p.MedianSecs), f2(p.P90Secs),
+			f2(p.TimeoutFrac), f2(p.CompleteFrac),
+		})
+	}
+	return table([]string{"queue", "variant", "median(s)", "p90(s)", "timeout frac", "completed"}, rows)
+}
+
+// Point returns the named (queue, label) measurement.
+func (r IWResult) Point(qk topology.QueueKind, label string) (IWPoint, bool) {
+	for _, p := range r.Points {
+		if p.Queue == qk && p.Label == label {
+			return p, true
+		}
+	}
+	return IWPoint{}, false
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taq/internal/link"
+	"taq/internal/markov"
+	"taq/internal/topology"
+)
+
+// ModelTables summarizes the §3.1 analytical results: the stationary
+// distribution of the partial model across loss rates, the expected
+// idle time, and the tipping point behind TAQ's p_thresh.
+type ModelTables struct {
+	Wmax         int
+	LossRates    []float64
+	TimeoutMass  []float64
+	IdleEpochs   []float64
+	TippingPoint float64
+}
+
+// RunModelTables computes the model summary (pure computation; no
+// simulation).
+func RunModelTables() (ModelTables, error) {
+	const wmax = 6
+	ps := []float64{0.02, 0.05, 0.08, 0.1, 0.12, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4}
+	out := ModelTables{Wmax: wmax, LossRates: ps}
+	masses, err := markov.TimeoutCurve(ps, wmax)
+	if err != nil {
+		return out, err
+	}
+	out.TimeoutMass = masses
+	for _, p := range ps {
+		out.IdleEpochs = append(out.IdleEpochs, markov.ExpectedIdleEpochs(p))
+	}
+	tp, err := markov.TippingPoint(0.5, wmax)
+	if err != nil {
+		return out, err
+	}
+	out.TippingPoint = tp
+	return out, nil
+}
+
+// Table renders the summary.
+func (m ModelTables) Table() string {
+	rows := make([][]string, 0, len(m.LossRates))
+	for i, p := range m.LossRates {
+		rows = append(rows, []string{f3(p), f3(m.TimeoutMass[i]), f2(m.IdleEpochs[i])})
+	}
+	return table([]string{"p", "timeout mass", "E[idle epochs]"}, rows) +
+		fmt.Sprintf("tipping point (mass ≥ 0.5): p = %.3f\n", m.TippingPoint)
+}
+
+// RedSfqPoint compares a baseline AQM against DropTail at one
+// contention level (§2.4's in-text claim: RED and SFQ behave like
+// DropTail in small packet regimes).
+type RedSfqPoint struct {
+	Queue        topology.QueueKind
+	FairShareBps float64
+	ShortJFI     float64
+	Utilization  float64
+}
+
+// RedSfqResult is the §2.4 equivalence check.
+type RedSfqResult struct {
+	Points []RedSfqPoint
+}
+
+// RunRedSfqEquivalence runs the Fig 2 configuration under DropTail,
+// RED and SFQ at two contention levels in the sub-packet regime and
+// reports the short-term JFI of each.
+func RunRedSfqEquivalence(scale Scale, seed int64) RedSfqResult {
+	var res RedSfqResult
+	for _, qk := range []topology.QueueKind{topology.DropTail, topology.RED, topology.SFQ} {
+		sweep := RunFairness(FairnessConfig{
+			Queue: qk,
+			// Deep sub-packet regime only: with ≲0.25 pkt/RTT per
+			// flow, each flow holds at most one buffered packet, the
+			// granularity at which §2.4 says AQM choices stop
+			// mattering.
+			Bandwidths: []link.Bps{200 * link.Kbps},
+			FairShares: []float64{2500, 5000},
+			Seed:       seed,
+		}, scale)
+		for _, p := range sweep.Points {
+			res.Points = append(res.Points, RedSfqPoint{
+				Queue:        qk,
+				FairShareBps: p.FairShareBps,
+				ShortJFI:     p.ShortJFI,
+				Utilization:  p.Utilization,
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the equivalence check.
+func (r RedSfqResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			string(p.Queue),
+			fmt.Sprintf("%.0f", p.FairShareBps),
+			f3(p.ShortJFI),
+			f2(p.Utilization),
+		})
+	}
+	return table([]string{"queue", "fairshare(bps)", "shortJFI", "util"}, rows)
+}

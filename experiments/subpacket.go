@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/tcp"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// SubPacketPoint measures one (variant, queue) pair in the future-work
+// experiment.
+type SubPacketPoint struct {
+	Variant       string
+	Queue         topology.QueueKind
+	ShortJFI      float64
+	LossRate      float64
+	Utilization   float64
+	RepetitiveTOs uint64
+	MeanStalled   float64
+}
+
+// SubPacketResult is the §7 future-work comparison.
+type SubPacketResult struct {
+	Points []SubPacketPoint
+}
+
+// RunSubPacketTCP evaluates the paper's future-work direction (§7:
+// "end-host congestion control mechanisms for small packet regimes"):
+// a sender variant that keeps a fractional paced window instead of
+// exponential RTO backoff, run against standard NewReno in the deep
+// sub-packet regime (80 flows on 200 Kbps ≈ 0.125 pkt/RTT each),
+// under both DropTail and TAQ.
+func RunSubPacketTCP(scale Scale, seed int64) SubPacketResult {
+	if seed == 0 {
+		seed = 1
+	}
+	duration := scale.duration(600*sim.Second, 150*sim.Second)
+	const (
+		bw    = 200 * link.Kbps
+		flows = 80
+	)
+	var res SubPacketResult
+	for _, qk := range []topology.QueueKind{topology.DropTail, topology.TAQ} {
+		for _, v := range []struct {
+			name    string
+			variant tcp.Variant
+		}{
+			{"newreno", tcp.VariantNewReno},
+			{"subpacket", tcp.VariantSubPacket},
+		} {
+			tcpCfg := tcp.DefaultConfig()
+			tcpCfg.Variant = v.variant
+			net := topology.MustNew(topology.Config{
+				Seed:      seed,
+				Bandwidth: bw,
+				Queue:     qk,
+				RTTJitter: 0.25,
+				TCP:       tcpCfg,
+			})
+			workload.AddBulkFlows(net, flows, 50*sim.Millisecond)
+			net.Run(duration)
+			slices := int(duration / net.Slicer.Width())
+			ev := net.Slicer.Evolution(1, slices)
+			_, rep := net.AggregateTimeouts()
+			res.Points = append(res.Points, SubPacketPoint{
+				Variant:       v.name,
+				Queue:         qk,
+				ShortJFI:      net.Slicer.MeanSliceJFI(1, slices),
+				LossRate:      net.LossRate(),
+				Utilization:   net.Utilization(),
+				RepetitiveTOs: rep,
+				MeanStalled:   ev.MeanStalled(),
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the comparison.
+func (r SubPacketResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			string(p.Queue), p.Variant,
+			f3(p.ShortJFI), f3(p.LossRate), f2(p.Utilization),
+			fmt.Sprintf("%d", p.RepetitiveTOs), f1(p.MeanStalled),
+		})
+	}
+	return table([]string{"queue", "variant", "shortJFI", "loss", "util", "repetitiveTO", "stalled"}, rows)
+}
+
+// Point returns the named (queue, variant) measurement.
+func (r SubPacketResult) Point(qk topology.QueueKind, variant string) (SubPacketPoint, bool) {
+	for _, p := range r.Points {
+		if p.Queue == qk && p.Variant == variant {
+			return p, true
+		}
+	}
+	return SubPacketPoint{}, false
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taq/internal/link"
+	"taq/internal/sim"
+	"taq/internal/topology"
+	"taq/internal/workload"
+)
+
+// TFRCPoint compares TCP and TFRC populations at one contention level
+// (the §1 claim: TFRC's equation rate is at least √(3/2) packets per
+// RTT, so it cannot adapt to sub-packet fair shares any better than
+// TCP — "the only way to reduce the rate further is by adding
+// timeouts").
+type TFRCPoint struct {
+	Transport    string // "tcp" or "tfrc"
+	FairShareBps float64
+	Flows        int
+	ShortJFI     float64
+	LossRate     float64
+	Utilization  float64
+}
+
+// TFRCResult is the comparison sweep.
+type TFRCResult struct {
+	Points []TFRCPoint
+}
+
+// RunTFRCComparison runs homogeneous TCP and TFRC populations through
+// the same droptail bottleneck at sub-packet fair shares.
+func RunTFRCComparison(scale Scale, seed int64) TFRCResult {
+	if seed == 0 {
+		seed = 1
+	}
+	duration := scale.duration(400*sim.Second, 80*sim.Second)
+	const bw = 200 * link.Kbps
+	var res TFRCResult
+	for _, share := range []float64{2500, 5000, 10000} {
+		n := int(float64(bw) / share)
+		if n < 2 {
+			continue
+		}
+		for _, transport := range []string{"tcp", "tfrc"} {
+			net := topology.MustNew(topology.Config{
+				Seed:      seed,
+				Bandwidth: bw,
+				Queue:     topology.DropTail,
+				RTTJitter: 0.25,
+			})
+			if transport == "tcp" {
+				workload.AddBulkFlows(net, n, 50*sim.Millisecond)
+			} else {
+				for i := 0; i < n; i++ {
+					net.AddTFRCFlow(-1, sim.Time(i)*50*sim.Millisecond)
+				}
+			}
+			net.Run(duration)
+			slices := int(duration / net.Slicer.Width())
+			res.Points = append(res.Points, TFRCPoint{
+				Transport:    transport,
+				FairShareBps: float64(bw) / float64(n),
+				Flows:        n,
+				ShortJFI:     net.Slicer.MeanSliceJFI(1, slices),
+				LossRate:     net.LossRate(),
+				Utilization:  net.Utilization(),
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the comparison.
+func (r TFRCResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Transport,
+			fmt.Sprintf("%.0f", p.FairShareBps),
+			fmt.Sprintf("%d", p.Flows),
+			f3(p.ShortJFI),
+			f3(p.LossRate),
+			f2(p.Utilization),
+		})
+	}
+	return table([]string{"transport", "fairshare(bps)", "flows", "shortJFI", "loss", "util"}, rows)
+}

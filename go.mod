@@ -1,0 +1,3 @@
+module taq
+
+go 1.22

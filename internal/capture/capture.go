@@ -1,0 +1,210 @@
+// Package capture records per-packet events at the bottleneck — the
+// simulator's stand-in for the pcap traces the paper examines (§2.3:
+// "Upon closer examination in the pcap traces for these simulations,
+// we find that over 20-second time slices roughly 30% of the flows are
+// completely shut down and roughly 40% of the flows consume more than
+// 80% of the link bandwidth"). It stores events in memory, round-trips
+// them through a text format, and computes the per-slice shutdown and
+// concentration statistics behind that observation.
+package capture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// EventKind says what happened to a packet at the bottleneck.
+type EventKind uint8
+
+const (
+	// Arrive: the packet reached the bottleneck queue.
+	Arrive EventKind = iota
+	// Drop: the queue discipline discarded it.
+	Drop
+	// Deliver: it left the bottleneck toward the receiver.
+	Deliver
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Arrive:
+		return "ARR"
+	case Drop:
+		return "DRP"
+	case Deliver:
+		return "DLV"
+	default:
+		return fmt.Sprintf("K%d", uint8(k))
+	}
+}
+
+func kindFrom(s string) (EventKind, error) {
+	switch s {
+	case "ARR":
+		return Arrive, nil
+	case "DRP":
+		return Drop, nil
+	case "DLV":
+		return Deliver, nil
+	default:
+		return 0, fmt.Errorf("capture: unknown event kind %q", s)
+	}
+}
+
+// Event is one packet-level observation.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	Flow packet.FlowID
+	Seq  int
+	Size int
+}
+
+// Recorder accumulates events in memory.
+type Recorder struct {
+	Events []Event
+}
+
+// Record appends an event for packet p.
+func (r *Recorder) Record(at sim.Time, kind EventKind, p *packet.Packet) {
+	r.Events = append(r.Events, Event{At: at, Kind: kind, Flow: p.Flow, Seq: p.Seq, Size: p.Size})
+}
+
+// Write emits the trace in a plain text format ("seconds kind flow seq
+// size" per line).
+func (r *Recorder) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.Events {
+		if _, err := fmt.Fprintf(bw, "%.6f %s %d %d %d\n",
+			e.At.Seconds(), e.Kind, e.Flow, e.Seq, e.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a trace in Write's format.
+func Parse(rd io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(rd)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		var secs float64
+		var kind string
+		var flow, seq, size int
+		if _, err := fmt.Sscanf(text, "%f %s %d %d %d", &secs, &kind, &flow, &seq, &size); err != nil {
+			return nil, fmt.Errorf("capture: line %d: %v", line, err)
+		}
+		k, err := kindFrom(kind)
+		if err != nil {
+			return nil, fmt.Errorf("capture: line %d: %v", line, err)
+		}
+		out = append(out, Event{
+			At: sim.FromSeconds(secs), Kind: k,
+			Flow: packet.FlowID(flow), Seq: seq, Size: size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SliceStat summarizes one time slice of the trace, per §2.3.
+type SliceStat struct {
+	Slice int
+	// ActiveFlows is the number of distinct flows that appeared (any
+	// event) up to and including this slice and were registered.
+	ActiveFlows int
+	// ShutdownFrac is the fraction of flows that delivered nothing in
+	// this slice (the "completely shut down" population).
+	ShutdownFrac float64
+	// Top80Frac is the smallest fraction of flows that together
+	// delivered ≥80% of the slice's bytes (the hog population).
+	Top80Frac float64
+	// DeliveredBytes is the slice's total delivered volume.
+	DeliveredBytes int64
+}
+
+// Analyze computes per-slice statistics over [0, end) for the given
+// flow population (flows are expected to exist for the whole trace, as
+// in the §2.3 long-running-flow simulations).
+func Analyze(events []Event, width sim.Time, flows int, end sim.Time) []SliceStat {
+	if width <= 0 || flows <= 0 || end <= 0 {
+		return nil
+	}
+	n := int(end / width)
+	perSlice := make([]map[packet.FlowID]int64, n)
+	for i := range perSlice {
+		perSlice[i] = make(map[packet.FlowID]int64)
+	}
+	for _, e := range events {
+		if e.Kind != Deliver || e.At >= end {
+			continue
+		}
+		s := int(e.At / width)
+		perSlice[s][e.Flow] += int64(e.Size)
+	}
+	out := make([]SliceStat, 0, n)
+	for i, m := range perSlice {
+		st := SliceStat{Slice: i, ActiveFlows: flows}
+		var total int64
+		vols := make([]int64, 0, len(m))
+		for _, v := range m {
+			total += v
+			vols = append(vols, v)
+		}
+		st.DeliveredBytes = total
+		st.ShutdownFrac = float64(flows-len(m)) / float64(flows)
+		if total > 0 {
+			sort.Slice(vols, func(a, b int) bool { return vols[a] > vols[b] })
+			var acc int64
+			k := 0
+			for _, v := range vols {
+				if float64(acc) >= 0.8*float64(total) {
+					break
+				}
+				acc += v
+				k++
+			}
+			st.Top80Frac = float64(k) / float64(flows)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// MeanShutdownFrac averages ShutdownFrac over the stats.
+func MeanShutdownFrac(stats []SliceStat) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, st := range stats {
+		s += st.ShutdownFrac
+	}
+	return s / float64(len(stats))
+}
+
+// MeanTop80Frac averages Top80Frac over the stats.
+func MeanTop80Frac(stats []SliceStat) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, st := range stats {
+		s += st.Top80Frac
+	}
+	return s / float64(len(stats))
+}

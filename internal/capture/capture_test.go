@@ -1,0 +1,118 @@
+package capture
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+func ev(at sim.Time, k EventKind, flow packet.FlowID, size int) Event {
+	return Event{At: at, Kind: k, Flow: flow, Size: size}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var r Recorder
+	r.Record(100*sim.Millisecond, Arrive, &packet.Packet{Flow: 1, Seq: 2, Size: 500})
+	r.Record(110*sim.Millisecond, Drop, &packet.Packet{Flow: 1, Seq: 3, Size: 500})
+	r.Record(120*sim.Millisecond, Deliver, &packet.Packet{Flow: 2, Seq: 0, Size: 40})
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d events", len(got))
+	}
+	for i, e := range got {
+		want := r.Events[i]
+		if e.Kind != want.Kind || e.Flow != want.Flow || e.Seq != want.Seq || e.Size != want.Size {
+			t.Errorf("event %d = %+v, want %+v", i, e, want)
+		}
+		if d := e.At - want.At; d < -sim.Microsecond || d > sim.Microsecond {
+			t.Errorf("event %d time drift %v", i, d)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("garbage\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Parse(strings.NewReader("1.0 XXX 1 2 3\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	got, err := Parse(strings.NewReader("# comment\n\n1.0 DLV 1 2 500\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("parse = %v, %v", got, err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []EventKind{Arrive, Drop, Deliver} {
+		s := k.String()
+		back, err := kindFrom(s)
+		if err != nil || back != k {
+			t.Errorf("kind %v round-trips to %v, %v", k, back, err)
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestAnalyzeShutdownAndConcentration(t *testing.T) {
+	// Slice width 10s, 4 flows, one slice:
+	//   flow 0 delivers 8000 B, flow 1 delivers 1000 B,
+	//   flow 2 delivers 1000 B, flow 3 nothing.
+	events := []Event{
+		ev(1*sim.Second, Deliver, 0, 8000),
+		ev(2*sim.Second, Deliver, 1, 1000),
+		ev(3*sim.Second, Deliver, 2, 1000),
+		ev(4*sim.Second, Drop, 3, 500), // drops don't count
+	}
+	stats := Analyze(events, 10*sim.Second, 4, 10*sim.Second)
+	if len(stats) != 1 {
+		t.Fatalf("stats = %d slices", len(stats))
+	}
+	st := stats[0]
+	if st.ShutdownFrac != 0.25 {
+		t.Errorf("shutdown frac = %v, want 0.25 (flow 3)", st.ShutdownFrac)
+	}
+	// Flow 0 alone covers 80% of 10000 bytes → top-80 fraction 1/4.
+	if st.Top80Frac != 0.25 {
+		t.Errorf("top80 frac = %v, want 0.25", st.Top80Frac)
+	}
+	if st.DeliveredBytes != 10000 {
+		t.Errorf("delivered = %d", st.DeliveredBytes)
+	}
+}
+
+func TestAnalyzeDegenerate(t *testing.T) {
+	if Analyze(nil, 0, 4, sim.Second) != nil {
+		t.Error("zero width should return nil")
+	}
+	stats := Analyze(nil, sim.Second, 2, 2*sim.Second)
+	if len(stats) != 2 || stats[0].ShutdownFrac != 1 {
+		t.Errorf("empty trace stats = %+v", stats)
+	}
+	if MeanShutdownFrac(nil) != 0 || MeanTop80Frac(nil) != 0 {
+		t.Error("means of no stats should be 0")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	stats := []SliceStat{{ShutdownFrac: 0.2, Top80Frac: 0.4}, {ShutdownFrac: 0.4, Top80Frac: 0.6}}
+	if m := MeanShutdownFrac(stats); math.Abs(m-0.3) > 1e-12 {
+		t.Errorf("mean shutdown = %v", m)
+	}
+	if m := MeanTop80Frac(stats); math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("mean top80 = %v", m)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// poolInfo tracks one flow pool (a set of inter-related flows from the
+// same application session, §4.3).
+type poolInfo struct {
+	admitted     bool
+	waitingSince sim.Time
+	lastActive   sim.Time
+	waited       bool
+}
+
+// admission implements §4.3 flow-pool admission control: a flow is
+// admitted if its pool is already admitted, or if the pool is new and
+// the loss rate sits below a threshold slightly under p_thresh. Pools
+// that wait are admitted in FIFO order, and every pool is guaranteed
+// admission within Twait (chosen below the TCP SYN timeout so a
+// retried SYN of a waiting pool gets through).
+type admission struct {
+	cfg     Config
+	run     sim.Runner
+	pools   map[packet.PoolID]*poolInfo
+	waiting []packet.PoolID
+	stats   *Stats
+	// lastForceAdmit paces Twait-guaranteed admissions to one pool
+	// per Twait while the loss rate stays above the threshold.
+	lastForceAdmit sim.Time
+}
+
+func newAdmission(run sim.Runner, cfg Config, stats *Stats) *admission {
+	return &admission{cfg: cfg, run: run, pools: make(map[packet.PoolID]*poolInfo), stats: stats}
+}
+
+// threshold is the admit-below loss rate: p_thresh shaved by the
+// congestion-avoidance margin.
+func (a *admission) threshold() float64 {
+	return a.cfg.PThresh * (1 - a.cfg.AdmitMargin)
+}
+
+// allowSyn decides whether the SYN of the given pool may proceed.
+func (a *admission) allowSyn(pool packet.PoolID, lossRate float64) bool {
+	if pool == packet.PoolNone {
+		return true
+	}
+	now := a.run.Now()
+	pi, ok := a.pools[pool]
+	if !ok {
+		pi = &poolInfo{waitingSince: now}
+		a.pools[pool] = pi
+	}
+	pi.lastActive = now
+	if pi.admitted {
+		return true
+	}
+	headOfLine := len(a.waiting) == 0 || a.waiting[0] == pool
+	switch {
+	case headOfLine && now-pi.waitingSince >= a.cfg.Twait && now-a.lastForceAdmit >= a.cfg.Twait:
+		// The Twait guarantee admits one waiting pool per Twait (the
+		// head of the FIFO), pacing admissions under persistent
+		// overload rather than opening the floodgates.
+		a.lastForceAdmit = now
+		a.admit(pool, pi)
+		return true
+	case headOfLine && lossRate < a.threshold():
+		// Loss is low and this pool is next in line (or nobody waits).
+		a.admit(pool, pi)
+		return true
+	default:
+		a.enqueueWaiting(pool)
+		pi.waited = true
+		return false
+	}
+}
+
+// admitted reports whether the pool may send data packets.
+func (a *admission) poolAdmitted(pool packet.PoolID) bool {
+	if pool == packet.PoolNone {
+		return true
+	}
+	pi, ok := a.pools[pool]
+	if ok {
+		pi.lastActive = a.run.Now()
+	}
+	return ok && pi.admitted
+}
+
+func (a *admission) admit(pool packet.PoolID, pi *poolInfo) {
+	pi.admitted = true
+	a.removeWaiting(pool)
+	a.stats.PoolsAdmitted++
+	if pi.waited {
+		a.stats.PoolsWaited++
+	}
+}
+
+func (a *admission) enqueueWaiting(pool packet.PoolID) {
+	for _, w := range a.waiting {
+		if w == pool {
+			return
+		}
+	}
+	a.waiting = append(a.waiting, pool)
+}
+
+func (a *admission) removeWaiting(pool packet.PoolID) {
+	for i, w := range a.waiting {
+		if w == pool {
+			a.waiting = append(a.waiting[:i], a.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+// expire evicts pools inactive longer than the flow expiry (waiting
+// pools are kept: their Twait guarantee must survive).
+func (a *admission) expire() {
+	now := a.run.Now()
+	for id, pi := range a.pools {
+		if pi.admitted && now-pi.lastActive > a.cfg.FlowExpiry {
+			delete(a.pools, id)
+		}
+	}
+}
+
+// WaitingPools returns how many pools are queued for admission.
+func (a *admission) waitingPools() int { return len(a.waiting) }
+
+// expectedWait estimates how long the pool will wait before
+// admission, assuming the loss rate stays above the threshold so
+// admissions are Twait-paced FIFO. Zero for admitted or unknown pools.
+// §4.3: a proxy-mode middlebox can surface this to the user as "a
+// visible queue of requests with expected wait times".
+func (a *admission) expectedWait(pool packet.PoolID) sim.Time {
+	pi, ok := a.pools[pool]
+	if !ok || pi.admitted {
+		return 0
+	}
+	pos := -1
+	for i, w := range a.waiting {
+		if w == pool {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return 0
+	}
+	now := a.run.Now()
+	// Head of line: the remainder of its own (and the pacer's) Twait.
+	headWait := a.cfg.Twait - (now - a.pools[a.waiting[0]].waitingSince)
+	if pace := a.cfg.Twait - (now - a.lastForceAdmit); pace > headWait {
+		headWait = pace
+	}
+	if headWait < 0 {
+		headWait = 0
+	}
+	return headWait + sim.Time(pos)*a.cfg.Twait
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"container/heap"
+
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// Class identifies which of TAQ's five queues a packet was assigned to
+// (§4.2).
+type Class uint8
+
+const (
+	// ClassRecovery holds retransmitted packets, served at Level 1
+	// with strict priority ordered by flow silence length.
+	ClassRecovery Class = iota
+	// ClassNewFlow holds packets of flows that just began (slow
+	// start), Level 2, capacity-limited.
+	ClassNewFlow
+	// ClassOverPenalized holds packets of flows with multiple recent
+	// drops, Level 2.
+	ClassOverPenalized
+	// ClassBelowFair holds packets of flows under their fair share,
+	// Level 2.
+	ClassBelowFair
+	// ClassAboveFair holds packets of flows over their fair share,
+	// Level 3 (lowest priority).
+	ClassAboveFair
+
+	numClasses = int(ClassAboveFair) + 1
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassRecovery:
+		return "Recovery"
+	case ClassNewFlow:
+		return "NewFlow"
+	case ClassOverPenalized:
+		return "OverPenalized"
+	case ClassBelowFair:
+		return "BelowFairShare"
+	case ClassAboveFair:
+		return "AboveFairShare"
+	default:
+		return "Unknown"
+	}
+}
+
+// recoveryItem is a queued retransmission with its priority key.
+type recoveryItem struct {
+	pkt *packet.Packet
+	// silence is how long the packet's flow had been silent; longer
+	// silences get strictly higher priority ("any retransmission from
+	// a flow in an extended silence period should be prioritized over
+	// a retransmission from a flow in a silence period", §4.1).
+	silence sim.Time
+	seq     uint64 // FIFO tiebreak
+	index   int
+}
+
+// recoveryQueue is a max-heap on silence length.
+type recoveryQueue struct {
+	items []*recoveryItem
+	bytes int
+	seq   uint64
+}
+
+func (q *recoveryQueue) Len() int { return len(q.items) }
+func (q *recoveryQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.silence != b.silence {
+		return a.silence > b.silence
+	}
+	return a.seq < b.seq
+}
+func (q *recoveryQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+func (q *recoveryQueue) Push(x any) {
+	it := x.(*recoveryItem)
+	it.index = len(q.items)
+	q.items = append(q.items, it)
+}
+func (q *recoveryQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *recoveryQueue) push(p *packet.Packet, silence sim.Time) {
+	heap.Push(q, &recoveryItem{pkt: p, silence: silence, seq: q.seq})
+	q.seq++
+	q.bytes += p.Size
+}
+
+// popBest removes the highest-priority (longest-silence) packet.
+func (q *recoveryQueue) popBest() *packet.Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	it := heap.Pop(q).(*recoveryItem)
+	q.bytes -= it.pkt.Size
+	return it.pkt
+}
+
+// popWorst removes the lowest-priority (shortest-silence) packet — the
+// victim when the recovery queue itself must shed load.
+func (q *recoveryQueue) popWorst() *packet.Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	worst := 0
+	for i := 1; i < len(q.items); i++ {
+		a, b := q.items[i], q.items[worst]
+		if a.silence < b.silence || (a.silence == b.silence && a.seq > b.seq) {
+			worst = i
+		}
+	}
+	it := q.items[worst]
+	heap.Remove(q, worst)
+	q.bytes -= it.pkt.Size
+	return it.pkt
+}
+
+// classFIFO is a FIFO that additionally tracks per-flow occupancy so
+// the drop policy can pick its victim from the flow holding the most
+// buffer — the "fine-grained control of packet drops across competing
+// TCP flows" that gives TAQ its Fair-Queuing-like fairness (§3.2).
+// Service order stays strictly FIFO (§4.2: "within each queue, we use
+// a simple FIFO policy").
+type classFIFO struct {
+	items []*packet.Packet
+	head  int
+	bytes int
+	occ   map[packet.FlowID]int
+}
+
+// Len returns the number of queued packets.
+func (f *classFIFO) Len() int { return len(f.items) - f.head }
+
+// Bytes returns the queued byte total.
+func (f *classFIFO) Bytes() int { return f.bytes }
+
+// Push appends p at the tail.
+func (f *classFIFO) Push(p *packet.Packet) {
+	if f.occ == nil {
+		f.occ = make(map[packet.FlowID]int)
+	}
+	f.items = append(f.items, p)
+	f.bytes += p.Size
+	f.occ[p.Flow]++
+}
+
+// Pop removes and returns the head packet, or nil.
+func (f *classFIFO) Pop() *packet.Packet {
+	if f.Len() == 0 {
+		return nil
+	}
+	p := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	f.remove(p)
+	if f.head > 64 && f.head*2 >= len(f.items) {
+		f.items = append(f.items[:0], f.items[f.head:]...)
+		f.head = 0
+	}
+	return p
+}
+
+func (f *classFIFO) remove(p *packet.Packet) {
+	f.bytes -= p.Size
+	if f.occ[p.Flow] <= 1 {
+		delete(f.occ, p.Flow)
+	} else {
+		f.occ[p.Flow]--
+	}
+}
+
+// BestVictim returns the flow in this class that the drop policy
+// should penalize: largest buffer occupancy, ties broken by the
+// highest score (TAQ scores flows by their recent throughput, so
+// equal-occupancy ties fall on the flow least in danger of a timeout).
+// ok is false when the class is empty.
+func (f *classFIFO) BestVictim(score func(packet.FlowID) float64) (flow packet.FlowID, occ int, ok bool) {
+	for fl, n := range f.occ {
+		s := score(fl)
+		switch {
+		case !ok, n > occ, n == occ && s > score(flow),
+			n == occ && s == score(flow) && fl < flow:
+			flow, occ, ok = fl, n, true
+		}
+	}
+	return
+}
+
+// PopFlow removes and returns the newest queued packet of the given
+// flow, or nil if the flow has nothing queued.
+func (f *classFIFO) PopFlow(flow packet.FlowID) *packet.Packet {
+	for i := len(f.items) - 1; i >= f.head; i-- {
+		if f.items[i] != nil && f.items[i].Flow == flow {
+			p := f.items[i]
+			copy(f.items[i:], f.items[i+1:])
+			f.items[len(f.items)-1] = nil
+			f.items = f.items[:len(f.items)-1]
+			f.remove(p)
+			return p
+		}
+	}
+	return nil
+}
+
+// PopNewest removes and returns the most recently pushed packet
+// (plain tail drop), used by the occupancy-drop ablation.
+func (f *classFIFO) PopNewest() *packet.Packet {
+	if f.Len() == 0 {
+		return nil
+	}
+	p := f.items[len(f.items)-1]
+	f.items[len(f.items)-1] = nil
+	f.items = f.items[:len(f.items)-1]
+	f.remove(p)
+	return p
+}
+
+// PopVictim removes and returns the newest packet of the flow with the
+// largest buffer occupancy in this class — penalizing the burstiest
+// flow rather than whoever happened to arrive last.
+func (f *classFIFO) PopVictim() *packet.Packet {
+	victim, _, ok := f.BestVictim(func(packet.FlowID) float64 { return 0 })
+	if !ok {
+		return nil
+	}
+	return f.PopFlow(victim)
+}
+
+// classQueues bundles TAQ's five queues.
+type classQueues struct {
+	recovery recoveryQueue
+	fifos    [numClasses]classFIFO // index 0 unused (recovery is the heap)
+}
+
+func (cq *classQueues) lenOf(c Class) int {
+	if c == ClassRecovery {
+		return cq.recovery.Len()
+	}
+	return cq.fifos[c].Len()
+}
+
+func (cq *classQueues) totalLen() int {
+	n := cq.recovery.Len()
+	for c := 1; c < numClasses; c++ {
+		n += cq.fifos[c].Len()
+	}
+	return n
+}
+
+func (cq *classQueues) totalBytes() int {
+	b := cq.recovery.bytes
+	for c := 1; c < numClasses; c++ {
+		b += cq.fifos[c].Bytes()
+	}
+	return b
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"taq/internal/link"
+	"taq/internal/packet"
+	"taq/internal/queue"
+	"taq/internal/sim"
+)
+
+// TAQ is the Timeout Aware Queuing middlebox. It implements
+// queue.Discipline and can replace DropTail at any bottleneck link.
+//
+// Call Start once after construction so the periodic silence scan and
+// loss-window bookkeeping run; Stop cancels them.
+type TAQ struct {
+	queue.DropHook
+	cfg Config
+	run sim.Runner
+
+	tracker *tracker
+	q       classQueues
+	adm     *admission
+
+	// Scheduler accounting for the Level-1 recovery share cap and the
+	// Level-2 round-robin cursor.
+	servedTotal, servedRecovery uint64
+	rrCursor                    int
+
+	// Loss-rate monitor over sliding windows.
+	winStart         sim.Time
+	winArr, winDrop  uint64
+	prevArr, prevDrp uint64
+
+	// Cached fair share (bits/second per flow), refreshed by the scan;
+	// invEpochSum weights the proportional fairness model;
+	// poolShare/poolFlows back the pool fairness model (§4.3).
+	fairShare   float64
+	invEpochSum float64
+	poolShare   float64
+	poolFlows   map[packet.PoolID]int
+
+	scanTimer *sim.Timer
+	stopped   bool
+
+	// Stats accumulates middlebox counters.
+	Stats Stats
+}
+
+// New constructs a TAQ middlebox driven by run.
+func New(run sim.Runner, cfg Config) *TAQ {
+	t := &TAQ{cfg: cfg, run: run}
+	t.tracker = newTracker(run, cfg)
+	t.adm = newAdmission(run, cfg, &t.Stats)
+	t.fairShare = float64(cfg.Rate)
+	t.winStart = run.Now()
+	return t
+}
+
+// Start schedules the periodic scan. Safe to call once.
+func (t *TAQ) Start() {
+	if t.scanTimer != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		t.scan()
+		t.scanTimer = t.run.Schedule(t.cfg.ScanInterval, tick)
+	}
+	t.scanTimer = t.run.Schedule(t.cfg.ScanInterval, tick)
+}
+
+// Stop cancels the periodic scan.
+func (t *TAQ) Stop() {
+	t.stopped = true
+	t.scanTimer.Cancel()
+}
+
+// scan runs silence detection, refreshes the cached fair share, rolls
+// the loss window, and expires stale pools.
+func (t *TAQ) scan() {
+	t.tracker.scan()
+	n, invSum := t.tracker.activeStats()
+	if n < 1 {
+		n = 1
+	}
+	t.fairShare = float64(t.cfg.Rate) / float64(n)
+	t.invEpochSum = invSum
+	if t.cfg.PoolFairShare {
+		pools, perPool := t.tracker.activePools()
+		if pools < 1 {
+			pools = 1
+		}
+		t.poolShare = float64(t.cfg.Rate) / float64(pools)
+		t.poolFlows = perPool
+	}
+	now := t.run.Now()
+	if now-t.winStart >= t.cfg.LossWindow {
+		t.prevArr, t.prevDrp = t.winArr, t.winDrop
+		t.winArr, t.winDrop = 0, 0
+		t.winStart = now
+	}
+	if t.cfg.AdmissionControl {
+		t.adm.expire()
+	}
+}
+
+// LossRate returns the measured drop fraction over roughly the last
+// two loss windows.
+func (t *TAQ) LossRate() float64 {
+	arr := t.winArr + t.prevArr
+	if arr == 0 {
+		return 0
+	}
+	return float64(t.winDrop+t.prevDrp) / float64(arr)
+}
+
+// FairShare returns the cached per-flow fair share in bits/second.
+func (t *TAQ) FairShare() float64 { return t.fairShare }
+
+// ActiveFlows returns the tracker's current active flow count.
+func (t *TAQ) ActiveFlows() int { return t.tracker.activeFlows() }
+
+// StateCensus returns the number of tracked flows per approximate
+// state — the middlebox-side view used in the flow-evolution analysis.
+func (t *TAQ) StateCensus() map[FlowState]int { return t.tracker.stateCensus() }
+
+// WaitingPools returns the number of flow pools queued for admission.
+func (t *TAQ) WaitingPools() int { return t.adm.waitingPools() }
+
+// ExpectedWait estimates how long the given pool will wait before
+// admission (0 for admitted/unknown pools) — the §4.3 user-feedback
+// hook ("maintaining a visible queue of requests with expected wait
+// times ... for each browsing request").
+func (t *TAQ) ExpectedWait(pool packet.PoolID) sim.Time { return t.adm.expectedWait(pool) }
+
+// FlowStateOf exposes the tracked state of a flow (testing/metrics).
+func (t *TAQ) FlowStateOf(id packet.FlowID) (FlowState, bool) {
+	f := t.tracker.get(id)
+	if f == nil {
+		return 0, false
+	}
+	return f.state, true
+}
+
+// flowFairShare returns the flow's fair share in bits/second under
+// the configured fairness model.
+func (t *TAQ) flowFairShare(f *flowInfo) float64 {
+	if t.cfg.PoolFairShare && t.poolShare > 0 {
+		if f.pool == packet.PoolNone {
+			return t.poolShare
+		}
+		n := t.poolFlows[f.pool]
+		if n < 1 {
+			n = 1
+		}
+		return t.poolShare / float64(n)
+	}
+	if t.cfg.Fairness == Proportional && t.invEpochSum > 0 && f.epoch > 0 {
+		return float64(t.cfg.Rate) * (1 / f.epoch.Seconds()) / t.invEpochSum
+	}
+	return t.fairShare
+}
+
+// classify assigns an arriving packet to one of the five queues
+// (§4.2), given its flow record and retransmission status.
+func (t *TAQ) classify(p *packet.Packet, f *flowInfo, rtx bool) Class {
+	switch {
+	case rtx && !t.cfg.NoRecoveryPriority:
+		return ClassRecovery
+	case p.Kind == packet.Syn:
+		return ClassNewFlow
+	case (f.epochs < t.cfg.NewFlowEpochs || f.highSeq < t.cfg.NewFlowSegs) &&
+		(f.state == StateNew || f.state == StateSlowStart):
+		return ClassNewFlow
+	case f.drops+f.prevDrops >= t.cfg.OverPenaltyDrops:
+		return ClassOverPenalized
+	case !t.cfg.NoRecoveryProtection &&
+		(f.state == StateLossRecovery || f.state == StateTimeoutRecovery ||
+			f.protectEpochs > 0):
+		// §4.1: flows with recent losses get higher priority for the
+		// packets that follow, to prevent (repetitive) timeouts — a
+		// flow crawling out of recovery must not lose its first new
+		// packets.
+		return ClassOverPenalized
+	case f.rateEWMA <= t.flowFairShare(f):
+		return ClassBelowFair
+	default:
+		return ClassAboveFair
+	}
+}
+
+// Enqueue implements queue.Discipline.
+func (t *TAQ) Enqueue(p *packet.Packet) {
+	t.Stats.Arrivals++
+	t.winArr++
+	f, rtx := t.tracker.observe(p)
+
+	// Admission control gates SYNs of un-admitted pools (§4.3); data
+	// of un-admitted pools (races around expiry) is dropped too.
+	if t.cfg.AdmissionControl && p.Pool != packet.PoolNone {
+		switch p.Kind {
+		case packet.Syn:
+			if !t.adm.allowSyn(p.Pool, t.LossRate()) {
+				t.Stats.SynsBlocked++
+				t.dropPacket(p, ClassNewFlow, false)
+				return
+			}
+		case packet.Data:
+			if !t.adm.poolAdmitted(p.Pool) {
+				t.dropPacket(p, ClassBelowFair, rtx)
+				return
+			}
+		}
+	}
+
+	class := t.classify(p, f, rtx)
+	switch class {
+	case ClassRecovery:
+		silence := f.lastSilence
+		t.q.recovery.push(p, silence)
+		if t.q.recovery.Len() > t.cfg.RecoveryCap {
+			if victim := t.q.recovery.popWorst(); victim != nil {
+				t.dropPacket(victim, ClassRecovery, true)
+			}
+		}
+	case ClassNewFlow:
+		if t.q.fifos[ClassNewFlow].Len() >= t.cfg.NewFlowCap {
+			// The NewFlow cap curtails the admission rate of new
+			// connections even without explicit admission control.
+			t.dropPacket(p, ClassNewFlow, false)
+			return
+		}
+		t.q.fifos[ClassNewFlow].Push(p)
+	default:
+		t.q.fifos[class].Push(p)
+	}
+
+	// Enforce the global buffer budget by evicting from the least
+	// valuable class.
+	for t.q.totalLen() > t.cfg.Capacity {
+		victim, vclass := t.evict()
+		if victim == nil {
+			break
+		}
+		t.dropPacket(victim, vclass, vclass == ClassRecovery)
+	}
+}
+
+// level2 lists the equal-priority middle queues in round-robin order.
+var level2 = [...]Class{ClassNewFlow, ClassOverPenalized, ClassBelowFair}
+
+// evict selects a drop victim when the buffer overflows. Above-fair
+// packets go first; otherwise the victim is the newest packet of the
+// single flow occupying the most buffer across the Level-2 queues —
+// per-flow drop control approximating Fair Queuing (§3.2) — so a
+// 1-packet flow in danger of a timeout never loses to a bursty one.
+// Recovery packets are shed only as a last resort (shortest silence
+// first).
+func (t *TAQ) evict() (*packet.Packet, Class) {
+	if t.cfg.NoOccupancyDrops {
+		// Ablation: plain within-class tail drop.
+		for _, c := range [...]Class{ClassAboveFair, ClassBelowFair, ClassNewFlow, ClassOverPenalized} {
+			if t.q.fifos[c].Len() > 0 {
+				return t.q.fifos[c].PopNewest(), c
+			}
+		}
+		if t.q.recovery.Len() > 0 {
+			return t.q.recovery.popWorst(), ClassRecovery
+		}
+		return nil, ClassAboveFair
+	}
+	score := func(fl packet.FlowID) float64 {
+		if f := t.tracker.get(fl); f != nil {
+			return f.rateEWMA
+		}
+		return 0
+	}
+	if t.q.fifos[ClassAboveFair].Len() > 0 {
+		fl, _, _ := t.q.fifos[ClassAboveFair].BestVictim(score)
+		return t.q.fifos[ClassAboveFair].PopFlow(fl), ClassAboveFair
+	}
+	var (
+		bestClass Class
+		bestFlow  packet.FlowID
+		bestOcc   int
+		found     bool
+	)
+	for _, c := range [...]Class{ClassBelowFair, ClassOverPenalized, ClassNewFlow} {
+		fl, occ, ok := t.q.fifos[c].BestVictim(score)
+		if !ok {
+			continue
+		}
+		if !found || occ > bestOcc || (occ == bestOcc && score(fl) > score(bestFlow)) {
+			bestClass, bestFlow, bestOcc, found = c, fl, occ, true
+		}
+	}
+	if found {
+		return t.q.fifos[bestClass].PopFlow(bestFlow), bestClass
+	}
+	if t.q.recovery.Len() > 0 {
+		return t.q.recovery.popWorst(), ClassRecovery
+	}
+	return nil, ClassAboveFair
+}
+
+// dropPacket records a drop with the tracker and fires the drop hook.
+func (t *TAQ) dropPacket(p *packet.Packet, class Class, rtx bool) {
+	t.Stats.Drops++
+	t.Stats.DropsByClass[class]++
+	t.winDrop++
+	t.tracker.recordDrop(p, rtx)
+	t.Drop(p)
+}
+
+// Dequeue implements queue.Discipline: the three-level hierarchical
+// scheduler of §4.2.
+func (t *TAQ) Dequeue() *packet.Packet {
+	// Level 1: Recovery — strict priority, but rate-capped so
+	// retransmissions cannot monopolize the link.
+	if t.q.recovery.Len() > 0 &&
+		float64(t.servedRecovery) < t.cfg.RecoveryShare*float64(t.servedTotal+1) {
+		return t.serve(t.q.recovery.popBest(), ClassRecovery)
+	}
+	// Level 2: NewFlow, OverPenalized, BelowFairShare at equal
+	// priority, served round-robin so none starves (the NewFlow queue
+	// is already capacity-limited at enqueue).
+	for i := 0; i < len(level2); i++ {
+		c := level2[(t.rrCursor+i)%len(level2)]
+		if t.q.fifos[c].Len() > 0 {
+			t.rrCursor = (t.rrCursor + i + 1) % len(level2)
+			return t.serve(t.q.fifos[c].Pop(), c)
+		}
+	}
+	// Level 3: AboveFairShare.
+	if t.q.fifos[ClassAboveFair].Len() > 0 {
+		return t.serve(t.q.fifos[ClassAboveFair].Pop(), ClassAboveFair)
+	}
+	// Work conservation: if only recovery packets remain, serve them
+	// even past the share cap rather than idling the link.
+	if t.q.recovery.Len() > 0 {
+		return t.serve(t.q.recovery.popBest(), ClassRecovery)
+	}
+	return nil
+}
+
+func (t *TAQ) serve(p *packet.Packet, class Class) *packet.Packet {
+	t.servedTotal++
+	if class == ClassRecovery {
+		t.servedRecovery++
+	}
+	t.Stats.Served++
+	t.Stats.ServedByClass[class]++
+	t.tracker.observeForwarded(p)
+	return p
+}
+
+// ObserveReverse feeds the middlebox an ack-path packet when it is
+// deployed where it sees two-way traffic (§3.3's conventional mode).
+// The packet is only observed, never queued; the resulting downstream
+// and upstream RTT halves replace the one-way epoch heuristics.
+func (t *TAQ) ObserveReverse(p *packet.Packet) { t.tracker.observeReverse(p) }
+
+// FlowEpoch exposes a flow's current epoch (RTT) estimate.
+func (t *TAQ) FlowEpoch(id packet.FlowID) (sim.Time, bool) {
+	f := t.tracker.get(id)
+	if f == nil {
+		return 0, false
+	}
+	return f.epoch, true
+}
+
+// Len implements queue.Discipline.
+func (t *TAQ) Len() int { return t.q.totalLen() }
+
+// Bytes implements queue.Discipline.
+func (t *TAQ) Bytes() int { return t.q.totalBytes() }
+
+// QueueLen returns the length of one class queue (instrumentation).
+func (t *TAQ) QueueLen(c Class) int { return t.q.lenOf(c) }
+
+var _ queue.Discipline = (*TAQ)(nil)
+
+// Bps re-exports the link rate type for callers configuring TAQ.
+type Bps = link.Bps

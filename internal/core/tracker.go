@@ -1,0 +1,465 @@
+package core
+
+import (
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// FlowState is the middlebox's approximate classification of a flow
+// (§3.3, Fig 7). It is inferred purely from observations at the
+// middlebox — packet counts per epoch, highest sequence, retransmitted
+// packets, drops at the TAQ queue, and silences — never from sender
+// state.
+type FlowState uint8
+
+const (
+	// StateNew: SYN seen, no data yet.
+	StateNew FlowState = iota
+	// StateSlowStart: significant growth in new packets per epoch.
+	StateSlowStart
+	// StateNormal: steady progress, no losses at the TAQ queue.
+	StateNormal
+	// StateLossRecovery: the middlebox dropped one of the flow's
+	// packets and expects retransmissions ("explicit loss recovery").
+	StateLossRecovery
+	// StateTimeoutSilence: the flow stopped sending after losses; it
+	// is presumed waiting out an RTO.
+	StateTimeoutSilence
+	// StateTimeoutRecovery: retransmissions after a timeout silence.
+	StateTimeoutRecovery
+	// StateExtendedSilence: silence spanning multiple epochs beyond a
+	// timeout — the repetitive-timeout regime.
+	StateExtendedSilence
+	// StateIdleSilence: a healthy flow with nothing to send (the
+	// dummy state for pipelined connections between objects).
+	StateIdleSilence
+
+	numFlowStates = int(StateIdleSilence) + 1
+)
+
+// String implements fmt.Stringer.
+func (s FlowState) String() string {
+	switch s {
+	case StateNew:
+		return "New"
+	case StateSlowStart:
+		return "SlowStart"
+	case StateNormal:
+		return "Normal"
+	case StateLossRecovery:
+		return "LossRecovery"
+	case StateTimeoutSilence:
+		return "TimeoutSilence"
+	case StateTimeoutRecovery:
+		return "TimeoutRecovery"
+	case StateExtendedSilence:
+		return "ExtendedSilence"
+	case StateIdleSilence:
+		return "IdleSilence"
+	default:
+		return "Unknown"
+	}
+}
+
+// flowInfo is the per-flow record the middlebox maintains (§3.3: new
+// packets per epoch, highest sequence number, retransmitted packets,
+// losses in the previous epoch — plus the state-machine bookkeeping).
+type flowInfo struct {
+	id   packet.FlowID
+	pool packet.PoolID
+
+	state FlowState
+
+	created sim.Time
+	synAt   sim.Time
+	gotData bool
+
+	// Epoch (middlebox-perceived RTT) estimation.
+	epoch      sim.Time
+	epochStart sim.Time
+	epochs     int      // epochs observed since creation
+	burstStart sim.Time // start of the current packet burst
+
+	// Current- and previous-epoch counters.
+	newPkts, prevNewPkts int
+	rtxPkts              int
+	drops, prevDrops     int
+	bytes                float64 // bytes forwarded-or-queued this epoch
+
+	highSeq int // highest data sequence observed
+
+	lastPkt      sim.Time // last packet observed (any kind)
+	silenceStart sim.Time // when the current presumed-RTO silence began
+
+	// outstandingDrops counts packets TAQ dropped that have not yet
+	// been seen retransmitted.
+	outstandingDrops int
+
+	// lastSilence remembers the length of the flow's most recent
+	// silence episode; it keys the Recovery queue priority for the
+	// whole retransmission burst that follows the silence.
+	lastSilence sim.Time
+
+	// Two-way RTT sampling (§3.3 "conventional mode": TAQ observes
+	// two-way traffic, making it relatively easy to estimate RTT).
+	// The downstream half is the gap from forwarding a data segment
+	// to seeing its ack return; the upstream half is the gap from
+	// that ack to the new data it releases from the sender.
+	sampleSeq    int // data segment awaiting its ack; -1 when idle
+	sampleAt     sim.Time
+	downRTT      sim.Time // EWMA of the downstream half
+	lastAckAt    sim.Time // when the last returning ack was observed
+	awaitingData bool     // upstream half armed
+	upRTT        sim.Time // EWMA of the upstream half
+	twoWay       bool     // two-way samples are feeding the epoch
+
+	// protectEpochs counts down epochs during which a flow that just
+	// recovered keeps elevated (OverPenalized-queue) protection: the
+	// loss of the first new packets after a timeout escalates the
+	// remembered backoff (§4.1), so they must not be the next victims.
+	protectEpochs int
+
+	// rateEWMA estimates the flow's throughput in bits/second.
+	rateEWMA float64
+}
+
+// roll advances the flow's epoch counters to cover time now, possibly
+// rolling several (empty) epochs at once.
+func (f *flowInfo) roll(now sim.Time) {
+	for now >= f.epochStart+f.epoch {
+		seconds := f.epoch.Seconds()
+		if seconds > 0 {
+			inst := f.bytes * 8 / seconds
+			f.rateEWMA = 0.875*f.rateEWMA + 0.125*inst
+		}
+		f.prevNewPkts = f.newPkts
+		f.prevDrops = f.drops
+		f.newPkts, f.rtxPkts, f.drops, f.bytes = 0, 0, 0, 0
+		f.epochStart += f.epoch
+		f.epochs++
+		if f.protectEpochs > 0 {
+			f.protectEpochs--
+		}
+	}
+}
+
+// silentFor returns how long the flow has been silent at time now.
+func (f *flowInfo) silentFor(now sim.Time) sim.Time { return now - f.lastPkt }
+
+// tracker owns all per-flow records and applies the approximate state
+// model.
+type tracker struct {
+	cfg   Config
+	run   sim.Runner
+	flows map[packet.FlowID]*flowInfo
+}
+
+func newTracker(run sim.Runner, cfg Config) *tracker {
+	return &tracker{cfg: cfg, run: run, flows: make(map[packet.FlowID]*flowInfo)}
+}
+
+func (t *tracker) get(id packet.FlowID) *flowInfo { return t.flows[id] }
+
+func (t *tracker) getOrCreate(p *packet.Packet) *flowInfo {
+	f, ok := t.flows[p.Flow]
+	if !ok {
+		now := t.run.Now()
+		f = &flowInfo{
+			id: p.Flow, pool: p.Pool, state: StateNew,
+			created: now, synAt: now, epoch: t.cfg.DefaultEpoch,
+			epochStart: now, lastPkt: now, highSeq: -1, sampleSeq: -1,
+		}
+		t.flows[p.Flow] = f
+	}
+	return f
+}
+
+// observe processes an arriving packet (before any drop decision) and
+// returns the flow record plus whether the middlebox classifies the
+// packet as a retransmission. The classification is observational —
+// a data sequence at or below the highest seen — exactly what a real
+// middlebox can infer.
+func (t *tracker) observe(p *packet.Packet) (f *flowInfo, rtx bool) {
+	now := t.run.Now()
+	f = t.getOrCreate(p)
+	silence := f.silentFor(now)
+	if silence > f.epoch {
+		f.lastSilence = silence
+	}
+	f.roll(now)
+
+	switch p.Kind {
+	case packet.Syn:
+		f.synAt = now
+		if f.state != StateNew && f.gotData {
+			// SYN retry of a flow we have data state for: ignore.
+			break
+		}
+		f.state = StateNew
+	case packet.Data:
+		rtx = f.gotData && p.Seq <= f.highSeq
+		if !f.gotData {
+			// First data packet: seed the epoch estimate from the
+			// SYN→data gap (§3.3's one-way estimation approach).
+			f.gotData = true
+			if d := now - f.synAt; d > 10*sim.Millisecond && d < 2*t.cfg.DefaultEpoch*10 {
+				f.epoch = d
+			}
+			f.epochStart = now
+			f.burstStart = now
+		} else if silence > f.epoch/2 && !f.twoWay &&
+			(f.state == StateNormal || f.state == StateSlowStart) {
+			// Burst start after a gap: TCP sends a window per RTT, so
+			// the burst-to-burst interval tracks the epoch. Refine
+			// with a weighted moving average (§3.3).
+			interval := now - f.burstStart
+			if interval > f.epoch/2 && interval < 4*f.epoch {
+				f.epoch = (7*f.epoch + interval) / 8
+			}
+			f.burstStart = now
+		}
+		if p.Seq > f.highSeq {
+			f.highSeq = p.Seq
+		}
+		if rtx {
+			f.rtxPkts++
+		} else {
+			f.newPkts++
+		}
+		f.bytes += float64(p.Size)
+		t.transition(f, rtx, silence)
+	}
+	f.lastPkt = now
+	return f, rtx
+}
+
+// transition applies the Fig 7 state machine for an observed data
+// packet. silence is how long the flow had been quiet before this
+// packet.
+func (t *tracker) transition(f *flowInfo, rtx bool, silence sim.Time) {
+	switch f.state {
+	case StateNew:
+		f.state = StateSlowStart
+	case StateTimeoutSilence, StateExtendedSilence:
+		if rtx {
+			f.state = StateTimeoutRecovery
+		} else {
+			// New data after silence: sender restarted cleanly.
+			f.state = StateSlowStart
+			f.outstandingDrops = 0
+			f.protectEpochs = 2
+		}
+	case StateTimeoutRecovery:
+		if rtx {
+			if f.outstandingDrops > 0 {
+				f.outstandingDrops--
+			}
+		} else {
+			// New data past the loss point: recovered to slow start.
+			f.state = StateSlowStart
+			f.outstandingDrops = 0
+			f.lastSilence = 0
+			f.protectEpochs = 2
+		}
+	case StateLossRecovery:
+		if rtx {
+			if f.outstandingDrops > 0 {
+				f.outstandingDrops--
+			}
+		} else if f.outstandingDrops == 0 {
+			f.state = StateNormal
+			f.lastSilence = 0
+			f.protectEpochs = 2
+		}
+	case StateSlowStart, StateNormal, StateIdleSilence:
+		switch {
+		case rtx:
+			// A retransmission we did not cause: external loss or a
+			// timeout we missed.
+			f.state = StateLossRecovery
+		case f.state == StateIdleSilence:
+			f.state = StateNormal
+		case f.state == StateSlowStart && f.epochs >= 1 &&
+			f.prevNewPkts > 0 && f.newPkts <= f.prevNewPkts+1:
+			// Growth flattened out: slow start is over.
+			f.state = StateNormal
+		}
+	}
+}
+
+// observeForwarded is called when a data packet is actually served
+// onto the link: it arms the downstream RTT sample, and closes the
+// upstream half if the ack that released this data was seen.
+func (t *tracker) observeForwarded(p *packet.Packet) {
+	f := t.get(p.Flow)
+	if f == nil || p.Kind != packet.Data {
+		return
+	}
+	now := t.run.Now()
+	if f.awaitingData && !p.Retransmit {
+		if up := now - f.lastAckAt; up > 0 && up < 4*f.epoch {
+			f.upRTT = ewmaTime(f.upRTT, up)
+		}
+		f.awaitingData = false
+	}
+	if f.sampleSeq < 0 {
+		f.sampleSeq = p.Seq
+		f.sampleAt = now
+	}
+}
+
+// observeReverse is called for ack-path packets in two-way mode: it
+// closes downstream RTT samples and feeds the epoch estimate.
+func (t *tracker) observeReverse(p *packet.Packet) {
+	f := t.get(p.Flow)
+	if f == nil || p.Kind != packet.Ack {
+		return
+	}
+	now := t.run.Now()
+	if f.sampleSeq >= 0 && p.CumAck > f.sampleSeq {
+		if down := now - f.sampleAt; down > 0 {
+			f.downRTT = ewmaTime(f.downRTT, down)
+		}
+		f.sampleSeq = -1
+	}
+	f.lastAckAt = now
+	f.awaitingData = true
+	if f.downRTT > 0 && f.upRTT > 0 {
+		f.epoch = f.downRTT + f.upRTT
+		f.twoWay = true
+	}
+}
+
+func ewmaTime(old, sample sim.Time) sim.Time {
+	if old == 0 {
+		return sample
+	}
+	return (7*old + sample) / 8
+}
+
+// recordDrop updates flow state after TAQ drops one of its packets
+// (§4.1: predicting the consequence of the drop).
+func (t *tracker) recordDrop(p *packet.Packet, rtx bool) {
+	f := t.get(p.Flow)
+	if f == nil {
+		return
+	}
+	now := t.run.Now()
+	f.drops++
+	f.outstandingDrops++
+	switch {
+	case p.Kind == packet.Syn:
+		// The sender will retry the SYN after its handshake timer.
+		f.state = StateNew
+	case rtx:
+		// Dropping a retransmission forces an RTO (§4.1): the flow
+		// enters a timeout silence, possibly a repetitive one.
+		if f.state == StateTimeoutRecovery || f.state == StateExtendedSilence {
+			f.state = StateExtendedSilence
+		} else {
+			f.state = StateTimeoutSilence
+		}
+		f.silenceStart = now
+	default:
+		if f.state == StateNormal || f.state == StateSlowStart || f.state == StateIdleSilence {
+			f.state = StateLossRecovery
+		}
+	}
+}
+
+// scan performs the periodic silence pass: flows that have gone quiet
+// move into the silence states; long-dead flows are evicted.
+func (t *tracker) scan() {
+	now := t.run.Now()
+	for id, f := range t.flows {
+		if f.silentFor(now) > t.cfg.FlowExpiry {
+			delete(t.flows, id)
+			continue
+		}
+		f.roll(now)
+		silent := f.silentFor(now)
+		switch f.state {
+		case StateLossRecovery, StateTimeoutRecovery:
+			if silent > f.epoch*3/2 && f.outstandingDrops > 0 {
+				// Expected retransmissions never came: the sender is
+				// waiting out an RTO.
+				if f.state == StateTimeoutRecovery {
+					f.state = StateExtendedSilence
+				} else {
+					f.state = StateTimeoutSilence
+				}
+				f.silenceStart = f.lastPkt
+			} else if silent > f.epoch*3 {
+				f.state = StateIdleSilence
+			}
+		case StateTimeoutSilence:
+			if now-f.silenceStart > 3*f.epoch {
+				f.state = StateExtendedSilence
+			}
+		case StateNormal, StateSlowStart:
+			if silent > f.epoch*3/2 {
+				if f.outstandingDrops > 0 {
+					f.state = StateTimeoutSilence
+					f.silenceStart = f.lastPkt
+				} else {
+					f.state = StateIdleSilence
+				}
+			}
+		}
+	}
+}
+
+// activeStats returns the number of active flows (seen within the
+// last few epochs or stuck in timeout states) — the N of the
+// fair-share computation C/N — together with the sum of their inverse
+// epoch estimates, which weights the proportional fairness model.
+func (t *tracker) activeStats() (n int, invEpochSum float64) {
+	now := t.run.Now()
+	for _, f := range t.flows {
+		if f.silentFor(now) <= 4*f.epoch || f.state == StateTimeoutSilence ||
+			f.state == StateExtendedSilence || f.state == StateTimeoutRecovery {
+			n++
+			if f.epoch > 0 {
+				invEpochSum += 1 / f.epoch.Seconds()
+			}
+		}
+	}
+	return
+}
+
+// activeFlows counts flows seen within the last few epochs.
+func (t *tracker) activeFlows() int {
+	n, _ := t.activeStats()
+	return n
+}
+
+// activePools returns the number of active pools and the active flow
+// count of each (pool-less flows count as one pool each, keyed by
+// PoolNone — callers treat them as singletons).
+func (t *tracker) activePools() (pools int, flowsPerPool map[packet.PoolID]int) {
+	now := t.run.Now()
+	flowsPerPool = make(map[packet.PoolID]int)
+	singletons := 0
+	for _, f := range t.flows {
+		active := f.silentFor(now) <= 4*f.epoch || f.state == StateTimeoutSilence ||
+			f.state == StateExtendedSilence || f.state == StateTimeoutRecovery
+		if !active {
+			continue
+		}
+		if f.pool == packet.PoolNone {
+			singletons++
+			continue
+		}
+		flowsPerPool[f.pool]++
+	}
+	return len(flowsPerPool) + singletons, flowsPerPool
+}
+
+// StateCensus returns the number of tracked flows in each state.
+func (t *tracker) stateCensus() map[FlowState]int {
+	out := make(map[FlowState]int, numFlowStates)
+	for _, f := range t.flows {
+		out[f.state]++
+	}
+	return out
+}

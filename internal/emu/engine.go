@@ -1,0 +1,97 @@
+// Package emu provides the real-time execution substrate for the
+// paper's prototype/testbed experiments (§5, Figs 11–12). The paper
+// evaluated TAQ both in simulation and as a userspace middlebox (Click
+// elements and a C# SharpPcap implementation) on a physical testbed;
+// here the same role is played by a wall-clock implementation of
+// sim.Runner, so the *identical* TCP and TAQ code that runs in the
+// simulator runs under real concurrent timers, packet races and
+// scheduling jitter — optionally time-scaled so a 200-virtual-second
+// experiment finishes in a couple of wall seconds.
+package emu
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"taq/internal/sim"
+)
+
+// Engine is a wall-clock sim.Runner. All callbacks are serialized by
+// an internal mutex (protocol code is written for serialized
+// execution); the concurrency is real — every timer fires on its own
+// goroutine and races to acquire the lock, exactly like packet and
+// timer events racing in a userspace middlebox.
+type Engine struct {
+	mu      sync.Mutex
+	start   time.Time
+	speedup float64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewEngine creates a real-time engine. speedup scales virtual time
+// against wall time: with speedup 100, one wall second covers 100
+// virtual seconds. speedup ≤ 0 means 1.
+func NewEngine(seed int64, speedup float64) *Engine {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &Engine{
+		start:   time.Now(),
+		speedup: speedup,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now implements sim.Runner: the virtual time elapsed since creation.
+func (e *Engine) Now() sim.Time {
+	return sim.Time(float64(time.Since(e.start)) * e.speedup)
+}
+
+// Rand implements sim.Runner. Only call from scheduled callbacks or
+// Post-ed functions (it is guarded by the engine lock there).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule implements sim.Runner: fn runs after the virtual delay,
+// serialized with all other callbacks.
+func (e *Engine) Schedule(delay sim.Time, fn func()) *sim.Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	tm := sim.ExternalTimer(e.Now() + delay)
+	wall := time.Duration(float64(delay) / e.speedup)
+	t := time.AfterFunc(wall, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.stopped || tm.Canceled() {
+			return
+		}
+		fn()
+	})
+	tm.SetStop(func() { t.Stop() })
+	return tm
+}
+
+// Post runs fn under the engine lock, serialized with callbacks. Use
+// it for scenario setup and for reading results.
+func (e *Engine) Post(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
+}
+
+// Stop prevents any further callbacks from running.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+}
+
+// RunFor blocks (wall-clock) until the given additional virtual time
+// has elapsed.
+func (e *Engine) RunFor(virtual sim.Time) {
+	time.Sleep(time.Duration(float64(virtual) / e.speedup))
+}
+
+var _ sim.Runner = (*Engine)(nil)

@@ -1,0 +1,213 @@
+package emu
+
+import (
+	"taq/internal/core"
+	"taq/internal/link"
+	"taq/internal/metrics"
+	"taq/internal/packet"
+	"taq/internal/queue"
+	"taq/internal/sim"
+	"taq/internal/tcp"
+)
+
+// TestbedConfig describes a prototype/testbed scenario: hosts behind a
+// middlebox that emulates a constrained bottleneck (the paper's §5.4
+// setup: a middlebox with two NICs in front of an emulated 600 Kbps /
+// 1 Mbps link).
+type TestbedConfig struct {
+	Seed int64
+	// Speedup scales virtual against wall time (≤0 → real time).
+	Speedup   float64
+	Bandwidth link.Bps
+	PropRTT   sim.Time
+	// BufferPackets defaults to one PropRTT of packets.
+	BufferPackets int
+	// UseTAQ selects the TAQ middlebox instead of DropTail.
+	UseTAQ bool
+	// TAQ optionally overrides the middlebox configuration.
+	TAQ *core.Config
+	// TCP is the endpoint configuration (zero → tcp.DefaultConfig).
+	TCP tcp.Config
+	// SliceWidth for fairness metrics (default 20 s).
+	SliceWidth sim.Time
+}
+
+func (c *TestbedConfig) fillDefaults() {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 600 * link.Kbps
+	}
+	if c.PropRTT == 0 {
+		c.PropRTT = 200 * sim.Millisecond
+	}
+	if c.TCP.MSS == 0 {
+		c.TCP = tcp.DefaultConfig()
+	}
+	if c.BufferPackets == 0 {
+		bdp := float64(c.Bandwidth) * c.PropRTT.Seconds() / 8 / float64(c.TCP.MSS)
+		c.BufferPackets = int(bdp)
+		if c.BufferPackets < 2 {
+			c.BufferPackets = 2
+		}
+	}
+	if c.SliceWidth == 0 {
+		c.SliceWidth = 20 * sim.Second
+	}
+}
+
+// Testbed is a running real-time scenario. Access results through
+// Snapshot after RunFor/Stop.
+type Testbed struct {
+	Cfg       TestbedConfig
+	Engine    *Engine
+	Link      *link.Link
+	Middlebox *core.TAQ
+	Slicer    *metrics.Slicer
+
+	flows  map[packet.FlowID]*tbFlow
+	nextID packet.FlowID
+
+	QueueArrivals, QueueDrops uint64
+}
+
+type tbFlow struct {
+	id       packet.FlowID
+	sender   *tcp.Sender
+	receiver *tcp.Receiver
+}
+
+// NewTestbed builds the scenario (middlebox + emulated bottleneck).
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	cfg.fillDefaults()
+	t := &Testbed{
+		Cfg:    cfg,
+		Engine: NewEngine(cfg.Seed, cfg.Speedup),
+		Slicer: metrics.NewSlicer(cfg.SliceWidth),
+		flows:  make(map[packet.FlowID]*tbFlow),
+	}
+	t.Engine.Post(func() {
+		var disc queue.Discipline
+		if cfg.UseTAQ {
+			tcfg := core.DefaultConfig(cfg.Bandwidth, cfg.BufferPackets)
+			if cfg.TAQ != nil {
+				tcfg = *cfg.TAQ
+				if tcfg.Rate == 0 {
+					tcfg.Rate = cfg.Bandwidth
+				}
+				tcfg.FillDerived(cfg.BufferPackets)
+			}
+			mb := core.New(t.Engine, tcfg)
+			mb.Start()
+			t.Middlebox = mb
+			disc = mb
+		} else {
+			disc = queue.NewDropTail(cfg.BufferPackets)
+		}
+		disc.SetDropHook(func(*packet.Packet) { t.QueueDrops++ })
+		t.Link = link.New(t.Engine, cfg.Bandwidth, 0, disc, t.deliver)
+	})
+	return t
+}
+
+func (t *Testbed) deliver(p *packet.Packet) {
+	f, ok := t.flows[p.Flow]
+	if !ok {
+		return
+	}
+	t.Engine.Schedule(t.Cfg.PropRTT/4, func() { f.receiver.Deliver(p) })
+}
+
+// AddBulkFlow starts a long-running download through the middlebox
+// (the testbed's "long lived requests to the webserver", §5.4).
+func (t *Testbed) AddBulkFlow() packet.FlowID {
+	var id packet.FlowID
+	t.Engine.Post(func() {
+		id = t.nextID
+		t.nextID++
+		rtt := t.Cfg.PropRTT
+		f := &tbFlow{id: id}
+		f.receiver = tcp.NewReceiver(t.Engine, t.Cfg.TCP, id, packet.PoolNone, func(p *packet.Packet) {
+			t.Engine.Schedule(rtt/2, func() { f.sender.Deliver(p) })
+		})
+		mss := t.Cfg.TCP.MSS
+		f.receiver.OnDeliver = func(segs int) {
+			t.Slicer.Record(id, t.Engine.Now(), segs*mss)
+		}
+		f.sender = tcp.NewSender(t.Engine, t.Cfg.TCP, id, packet.PoolNone, tcp.BulkApp{}, func(p *packet.Packet) {
+			t.Engine.Schedule(rtt/4, func() {
+				t.QueueArrivals++
+				t.Link.Enqueue(p)
+			})
+		})
+		t.flows[id] = f
+		t.Slicer.Register(id, t.Engine.Now())
+		f.sender.Start()
+	})
+	return id
+}
+
+// AddSizedFlow starts a fixed-size transfer (segs segments) in the
+// given pool; exactly one of onComplete/onFail runs (under the engine
+// lock) when the transfer finishes or the handshake gives up. This is
+// the testbed's web-object primitive (§5.4–5.5).
+//
+// Unlike AddBulkFlow it must be called while the engine lock is held —
+// i.e. from a scheduled callback or a function passed to Engine.Post —
+// because its own callbacks re-enter session state. The workload
+// package's TestbedHost guarantees this.
+func (t *Testbed) AddSizedFlow(pool packet.PoolID, segs int, onComplete, onFail func()) packet.FlowID {
+	var id packet.FlowID
+	func() {
+		id = t.nextID
+		t.nextID++
+		rtt := t.Cfg.PropRTT
+		f := &tbFlow{id: id}
+		f.receiver = tcp.NewReceiver(t.Engine, t.Cfg.TCP, id, pool, func(p *packet.Packet) {
+			t.Engine.Schedule(rtt/2, func() { f.sender.Deliver(p) })
+		})
+		mss := t.Cfg.TCP.MSS
+		f.receiver.OnDeliver = func(n int) {
+			t.Slicer.Record(id, t.Engine.Now(), n*mss)
+		}
+		app := &tcp.SizedApp{Total: segs}
+		f.sender = tcp.NewSender(t.Engine, t.Cfg.TCP, id, pool, app, func(p *packet.Packet) {
+			t.Engine.Schedule(rtt/4, func() {
+				t.QueueArrivals++
+				t.Link.Enqueue(p)
+			})
+		})
+		app.OnComplete = func() {
+			t.Slicer.Finish(id, t.Engine.Now())
+			if onComplete != nil {
+				onComplete()
+			}
+		}
+		f.sender.OnFail = func() {
+			t.Slicer.Finish(id, t.Engine.Now())
+			if onFail != nil {
+				onFail()
+			}
+		}
+		t.flows[id] = f
+		t.Slicer.Register(id, t.Engine.Now())
+		f.sender.Start()
+	}()
+	return id
+}
+
+// RunFor advances the testbed by the given virtual duration (blocking
+// the calling goroutine in wall time).
+func (t *Testbed) RunFor(virtual sim.Time) { t.Engine.RunFor(virtual) }
+
+// Stop halts all activity.
+func (t *Testbed) Stop() { t.Engine.Stop() }
+
+// Snapshot runs fn serialized against the scenario so it can safely
+// read Slicer, Link and counter state.
+func (t *Testbed) Snapshot(fn func()) { t.Engine.Post(fn) }
+
+// NumFlows returns the number of flows added.
+func (t *Testbed) NumFlows() int {
+	n := 0
+	t.Engine.Post(func() { n = len(t.flows) })
+	return n
+}

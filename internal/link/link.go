@@ -1,0 +1,116 @@
+// Package link models network links. The bottleneck Link serializes
+// packets at a configured rate out of a queue.Discipline; simple Pipe
+// links model uncongested propagation (access links and the reverse ACK
+// path, which per the paper carry no congestion).
+package link
+
+import (
+	"taq/internal/packet"
+	"taq/internal/queue"
+	"taq/internal/sim"
+)
+
+// Bps is a link rate in bits per second.
+type Bps float64
+
+// Common rates.
+const (
+	Kbps Bps = 1e3
+	Mbps Bps = 1e6
+)
+
+// TxTime returns the serialization time of size bytes at rate r.
+func (r Bps) TxTime(size int) sim.Time {
+	if r <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size*8) / float64(r) * float64(sim.Second))
+}
+
+// Link is a store-and-forward bottleneck: arriving packets enter the
+// queue discipline; the link drains the discipline at Rate, delivering
+// each packet after its serialization time plus the propagation Delay.
+type Link struct {
+	run     sim.Runner
+	rate    Bps
+	delay   sim.Time
+	disc    queue.Discipline
+	busy    bool
+	deliver func(*packet.Packet)
+
+	// Stats.
+	SentPackets  uint64
+	SentBytes    uint64
+	BusyTime     sim.Time // accumulated serialization time (utilization)
+	lastTxFinish sim.Time
+}
+
+// New returns a link draining disc at rate with propagation delay,
+// handing packets to deliver after serialization+propagation.
+func New(run sim.Runner, rate Bps, delay sim.Time, disc queue.Discipline, deliver func(*packet.Packet)) *Link {
+	return &Link{run: run, rate: rate, delay: delay, disc: disc, deliver: deliver}
+}
+
+// Discipline returns the queue discipline, e.g. for stats.
+func (l *Link) Discipline() queue.Discipline { return l.disc }
+
+// Rate returns the link rate.
+func (l *Link) Rate() Bps { return l.rate }
+
+// Enqueue offers p to the link's queue and starts transmission if the
+// link is idle. Drops are reported through the discipline's drop hook.
+func (l *Link) Enqueue(p *packet.Packet) {
+	p.Enqueued = l.run.Now()
+	l.disc.Enqueue(p)
+	l.pump()
+}
+
+func (l *Link) pump() {
+	if l.busy {
+		return
+	}
+	p := l.disc.Dequeue()
+	if p == nil {
+		return
+	}
+	l.busy = true
+	tx := l.rate.TxTime(p.Size)
+	l.BusyTime += tx
+	l.run.Schedule(tx, func() {
+		l.busy = false
+		l.SentPackets++
+		l.SentBytes += uint64(p.Size)
+		l.lastTxFinish = l.run.Now()
+		d := p
+		l.run.Schedule(l.delay, func() { l.deliver(d) })
+		l.pump()
+	})
+}
+
+// Utilization returns BusyTime divided by elapsed, the fraction of time
+// the link was transmitting over [0, elapsed].
+func (l *Link) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.BusyTime) / float64(elapsed)
+}
+
+// Pipe is an uncongested, lossless link: it delivers every packet after
+// a fixed delay. Used for access links and the ACK return path.
+type Pipe struct {
+	run     sim.Runner
+	delay   sim.Time
+	deliver func(*packet.Packet)
+}
+
+// NewPipe returns a fixed-delay lossless link.
+func NewPipe(run sim.Runner, delay sim.Time, deliver func(*packet.Packet)) *Pipe {
+	return &Pipe{run: run, delay: delay, deliver: deliver}
+}
+
+// Send delivers p after the pipe's delay.
+func (p *Pipe) Send(pkt *packet.Packet) {
+	d := pkt
+	p.run.Schedule(p.delay, func() { p.deliver(d) })
+}

@@ -1,0 +1,280 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxLoss is the upper bound (exclusive) on the loss probability the
+// repetitive-timeout aggregation supports: at p ≥ 0.5 the expected
+// idle time 1/(1−2p) diverges (the flow backs off faster than it
+// drains probability).
+const MaxLoss = 0.5
+
+// window-transition probabilities shared by both models.
+
+// pUp is P(Sn→Sn+1): all n transmissions succeed (Eq. 1).
+func pUp(p float64, n int) float64 { return math.Pow(1-p, float64(n)) }
+
+// pFast is P(Sn→S⌊n/2⌋): exactly one loss, and the fast retransmission
+// itself succeeds (Eq. 2). Defined for n ≥ 4 only.
+func pFast(p float64, n int) float64 {
+	return float64(n) * p * math.Pow(1-p, float64(n-1)) * (1 - p)
+}
+
+// ExpectedIdleEpochs returns the closed-form expected number of silent
+// epochs a flow spends in the aggregated timeout state b* before
+// retransmitting: 1/(1−2p) (Eq. 8). NaN for p outside [0, MaxLoss).
+func ExpectedIdleEpochs(p float64) float64 {
+	if p < 0 || p >= MaxLoss {
+		return math.NaN()
+	}
+	return 1 / (1 - 2*p)
+}
+
+func checkParams(p float64, wmax int) error {
+	if p <= 0 || p >= MaxLoss {
+		return fmt.Errorf("markov: loss probability %v outside (0, %v)", p, MaxLoss)
+	}
+	if wmax < 4 {
+		return fmt.Errorf("markov: Wmax %d too small (need ≥ 4 for fast retransmit states)", wmax)
+	}
+	return nil
+}
+
+// PartialModel builds the Fig 4 chain for loss probability p and
+// maximum window wmax (the paper uses wmax = 6). States:
+//
+//	b0      one-epoch buffer of a simple timeout (from S4..SWmax)
+//	b*      aggregated repetitive-timeout buffer (expected stay 1/(1−2p))
+//	S1      timeout retransmit state
+//	S2..SW  congestion window states
+//
+// Transitions follow Eqs. 1–3 and 9–10; timeouts from S2/S3 enter b*
+// (they may carry backoff memory), timeouts from S4..SW pass through
+// b0 (a new RTT measurement collapsed their backoff by the time the
+// window regrew past 3, §3.1.1).
+func PartialModel(p float64, wmax int) (*Chain, error) {
+	if err := checkParams(p, wmax); err != nil {
+		return nil, err
+	}
+	labels := []string{"b0", "b*", "S1"}
+	groups := []int{0, 0, 1}
+	for n := 2; n <= wmax; n++ {
+		labels = append(labels, fmt.Sprintf("S%d", n))
+		groups = append(groups, n)
+	}
+	c := &Chain{Labels: labels, Group: groups}
+	n := len(labels)
+	c.P = make([][]float64, n)
+	for i := range c.P {
+		c.P[i] = make([]float64, n)
+	}
+	idx := func(label string) int {
+		i := c.StateIndex(label)
+		if i < 0 {
+			panic("markov: missing state " + label)
+		}
+		return i
+	}
+	b0, bstar, s1 := idx("b0"), idx("b*"), idx("S1")
+	sIdx := func(w int) int { return idx(fmt.Sprintf("S%d", w)) }
+
+	// b0 always proceeds to the retransmit state after its one epoch.
+	c.P[b0][s1] = 1
+	// Aggregated buffer: stay with 2p, retransmit with 1−2p (Eqs. 9–10).
+	c.P[bstar][bstar] = 2 * p
+	c.P[bstar][s1] = 1 - 2*p
+	// Retransmit: success enters S2, failure re-enters the buffer.
+	c.P[s1][sIdx(2)] = 1 - p
+	c.P[s1][bstar] = p
+
+	for w := 2; w <= wmax; w++ {
+		row := c.P[sIdx(w)]
+		up := pUp(p, w)
+		if w < wmax {
+			row[sIdx(w+1)] = up
+		} else {
+			row[sIdx(w)] = up // stay at Wmax
+		}
+		fast := 0.0
+		if w >= 4 {
+			fast = pFast(p, w)
+			row[sIdx(w/2)] += fast
+		}
+		rto := 1 - up - fast
+		if rto < 0 {
+			rto = 0
+		}
+		if w >= 4 {
+			row[b0] += rto
+		} else {
+			row[bstar] += rto
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// FullModel builds the Fig 5 chain: repetitive timeouts are expanded
+// into explicit backoff stages 1..stages. Stage i has a buffer state
+// Bi whose expected occupancy is 2^i − 1 epochs (geometric), and a
+// retransmit state Ri. A successful Ri enters the window-2 state
+// S2^(i), which still carries backoff memory (Karn's algorithm: the
+// retransmission's ack yields no RTT sample), so a loss there
+// escalates to stage i+1; its success reaches the clean S3. The last
+// stage aggregates the infinite tail with expected occupancy
+// (1−p)·2^K/(1−2p) − 1.
+func FullModel(p float64, wmax, stages int) (*Chain, error) {
+	if err := checkParams(p, wmax); err != nil {
+		return nil, err
+	}
+	if stages < 1 {
+		return nil, fmt.Errorf("markov: need ≥1 backoff stage, got %d", stages)
+	}
+	var labels []string
+	var groups []int
+	add := func(l string, g int) {
+		labels = append(labels, l)
+		groups = append(groups, g)
+	}
+	add("b0", 0)
+	for i := 1; i <= stages; i++ {
+		add(fmt.Sprintf("B%d", i), 0)
+		add(fmt.Sprintf("R%d", i), 1)
+		add(fmt.Sprintf("S2^%d", i), 2)
+	}
+	for n := 2; n <= wmax; n++ {
+		add(fmt.Sprintf("S%d", n), n)
+	}
+	c := &Chain{Labels: labels, Group: groups}
+	n := len(labels)
+	c.P = make([][]float64, n)
+	for i := range c.P {
+		c.P[i] = make([]float64, n)
+	}
+	idx := func(format string, args ...any) int {
+		i := c.StateIndex(fmt.Sprintf(format, args...))
+		if i < 0 {
+			panic("markov: missing state")
+		}
+		return i
+	}
+
+	// Expected buffer occupancies per stage.
+	wait := func(i int) float64 {
+		if i < stages {
+			return float64(int(1)<<i) - 1 // 2^i − 1
+		}
+		// Aggregated tail from stage K onward.
+		w := (1-p)*math.Pow(2, float64(i))/(1-2*p) - 1
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+
+	// b0: the one-epoch wait of a simple timeout, then stage-1 rtx.
+	c.P[idx("b0")][idx("R1")] = 1
+
+	for i := 1; i <= stages; i++ {
+		bi, ri, s2i := idx("B%d", i), idx("R%d", i), idx("S2^%d", i)
+		w := wait(i)
+		exit := 1 / w
+		if exit > 1 {
+			exit = 1
+		}
+		c.P[bi][ri] = exit
+		c.P[bi][bi] = 1 - exit
+		// Retransmit: success → tainted S2; failure → deeper stage.
+		next := i + 1
+		if next > stages {
+			next = stages
+		}
+		c.P[ri][s2i] = 1 - p
+		c.P[ri][idx("B%d", next)] = p
+		// Tainted S2: the sender transmits two new segments.
+		//   both arrive              → clean S3;
+		//   first arrives, second lost → the new-data ack collapsed
+		//     the backoff (RFC 6298 §5.7), so the timeout restarts
+		//     at stage 1;
+		//   first lost               → no new-data ack, the
+		//     remembered backoff escalates to the next stage.
+		c.P[s2i][idx("S3")] = (1 - p) * (1 - p)
+		c.P[s2i][idx("B1")] += (1 - p) * p
+		c.P[s2i][idx("B%d", next)] += p
+	}
+
+	sIdx := func(w int) int { return idx("S%d", w) }
+	for w := 2; w <= wmax; w++ {
+		row := c.P[sIdx(w)]
+		up := pUp(p, w)
+		if w < wmax {
+			row[sIdx(w+1)] = up
+		} else {
+			row[sIdx(w)] = up
+		}
+		fast := 0.0
+		if w >= 4 {
+			fast = pFast(p, w)
+			row[sIdx(w/2)] += fast
+		}
+		rto := 1 - up - fast
+		if rto < 0 {
+			rto = 0
+		}
+		if w >= 4 {
+			// Simple timeout: one-epoch wait then stage-1 retransmit.
+			row[idx("b0")] += rto
+		} else {
+			// Clean low-window timeout: first backoff stage.
+			row[idx("B1")] += rto
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// TimeoutCurve evaluates the stationary timeout mass of the partial
+// model at each loss probability in ps.
+func TimeoutCurve(ps []float64, wmax int) ([]float64, error) {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		c, err := PartialModel(p, wmax)
+		if err != nil {
+			return nil, err
+		}
+		pi, err := c.Stationary()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c.TimeoutMass(pi)
+	}
+	return out, nil
+}
+
+// TippingPoint returns the smallest loss probability (searched on a
+// fine grid over (0, MaxLoss)) at which the stationary timeout mass of
+// the partial model reaches frac. The paper reads the knee of this
+// curve as p_thresh ≈ 0.1 (§3.2, §4.3).
+func TippingPoint(frac float64, wmax int) (float64, error) {
+	const step = 0.002
+	for p := step; p < MaxLoss; p += step {
+		c, err := PartialModel(p, wmax)
+		if err != nil {
+			return 0, err
+		}
+		pi, err := c.Stationary()
+		if err != nil {
+			return 0, err
+		}
+		if c.TimeoutMass(pi) >= frac {
+			return p, nil
+		}
+	}
+	return math.NaN(), fmt.Errorf("markov: timeout mass never reaches %v below p=%v", frac, MaxLoss)
+}

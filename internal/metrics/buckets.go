@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// SizeSample pairs an object size with a measured value (e.g. download
+// time in seconds), the raw data behind Fig 1's scatter plot.
+type SizeSample struct {
+	SizeBytes int
+	Value     float64
+}
+
+// BucketStat summarizes the samples falling into one logarithmic size
+// bucket — the per-bucket min / max / average / 10th / 90th percentile
+// curves of Fig 1.
+type BucketStat struct {
+	Lo, Hi   float64 // bucket bounds in bytes, [Lo, Hi)
+	N        int
+	Avg      float64
+	Min, Max float64
+	P10, P90 float64
+}
+
+// BucketStats assigns each sample to a logarithmic bucket
+// (perDecade buckets per factor of 10, e.g. 2 gives …,100B,316B,1KB,…)
+// and summarizes each non-empty bucket, sorted by size.
+func BucketStats(samples []SizeSample, perDecade int) []BucketStat {
+	if perDecade < 1 {
+		perDecade = 1
+	}
+	groups := make(map[int][]float64)
+	for _, s := range samples {
+		if s.SizeBytes < 1 {
+			continue
+		}
+		b := int(math.Floor(math.Log10(float64(s.SizeBytes)) * float64(perDecade)))
+		groups[b] = append(groups[b], s.Value)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]BucketStat, 0, len(keys))
+	for _, k := range keys {
+		vals := groups[k]
+		var c CDF
+		for _, v := range vals {
+			c.Add(v)
+		}
+		out = append(out, BucketStat{
+			Lo:  math.Pow(10, float64(k)/float64(perDecade)),
+			Hi:  math.Pow(10, float64(k+1)/float64(perDecade)),
+			N:   len(vals),
+			Avg: c.Mean(),
+			Min: c.Min(),
+			Max: c.Max(),
+			P10: c.Percentile(10),
+			P90: c.Percentile(90),
+		})
+	}
+	return out
+}
+
+// SpreadOrders returns how many orders of magnitude separate the
+// bucket's min and max (Fig 1's headline: "download times vary by over
+// two orders of magnitude").
+func (b BucketStat) SpreadOrders() float64 {
+	if b.Min <= 0 || b.Max <= 0 {
+		return 0
+	}
+	return math.Log10(b.Max / b.Min)
+}

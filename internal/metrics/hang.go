@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// HangTracker measures user-perceived hangs (§2.3): for each user
+// (flow pool), the longest interval during which none of the user's
+// connections delivered any data.
+type HangTracker struct {
+	last map[packet.PoolID]sim.Time // time of last delivery (or start)
+	max  map[packet.PoolID]sim.Time // longest silent gap so far
+}
+
+// NewHangTracker returns an empty tracker.
+func NewHangTracker() *HangTracker {
+	return &HangTracker{
+		last: make(map[packet.PoolID]sim.Time),
+		max:  make(map[packet.PoolID]sim.Time),
+	}
+}
+
+// Start registers a user pool at its session start time; the gap until
+// its first delivery counts as a hang.
+func (h *HangTracker) Start(pool packet.PoolID, at sim.Time) {
+	if _, ok := h.last[pool]; !ok {
+		h.last[pool] = at
+		h.max[pool] = 0
+	}
+}
+
+// Touch records a delivery for the pool at time at.
+func (h *HangTracker) Touch(pool packet.PoolID, at sim.Time) {
+	prev, ok := h.last[pool]
+	if !ok {
+		h.Start(pool, at)
+		return
+	}
+	if gap := at - prev; gap > h.max[pool] {
+		h.max[pool] = gap
+	}
+	h.last[pool] = at
+}
+
+// Finish closes every pool's trailing gap at the experiment end time.
+func (h *HangTracker) Finish(at sim.Time) {
+	for pool, prev := range h.last {
+		if gap := at - prev; gap > h.max[pool] {
+			h.max[pool] = gap
+		}
+	}
+}
+
+// MaxHang returns the longest hang observed for the pool.
+func (h *HangTracker) MaxHang(pool packet.PoolID) sim.Time { return h.max[pool] }
+
+// NumPools returns the number of tracked user pools.
+func (h *HangTracker) NumPools() int { return len(h.max) }
+
+// FractionExceeding returns the fraction of pools whose longest hang
+// is at least d.
+func (h *HangTracker) FractionExceeding(d sim.Time) float64 {
+	if len(h.max) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range h.max {
+		if m >= d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.max))
+}

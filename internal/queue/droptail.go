@@ -1,0 +1,44 @@
+package queue
+
+import "taq/internal/packet"
+
+// DropTail is the classic tail-drop FIFO: packets beyond the capacity
+// (in packets) are dropped on arrival. This is the paper's primary
+// baseline ("DT").
+type DropTail struct {
+	DropHook
+	fifo     FIFO
+	capacity int
+}
+
+// NewDropTail returns a tail-drop queue holding at most capacity
+// packets. Capacity must be at least 1.
+func NewDropTail(capacity int) *DropTail {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DropTail{capacity: capacity}
+}
+
+// Capacity returns the configured packet capacity.
+func (q *DropTail) Capacity() int { return q.capacity }
+
+// Enqueue implements Discipline.
+func (q *DropTail) Enqueue(p *packet.Packet) {
+	if q.fifo.Len() >= q.capacity {
+		q.Drop(p)
+		return
+	}
+	q.fifo.Push(p)
+}
+
+// Dequeue implements Discipline.
+func (q *DropTail) Dequeue() *packet.Packet { return q.fifo.Pop() }
+
+// Len implements Discipline.
+func (q *DropTail) Len() int { return q.fifo.Len() }
+
+// Bytes implements Discipline.
+func (q *DropTail) Bytes() int { return q.fifo.Bytes() }
+
+var _ Discipline = (*DropTail)(nil)

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Runner is the clock-and-scheduler interface all protocol code is
+// written against. The discrete-event Engine in this package implements
+// it with virtual time; internal/emu implements it with (scaled) wall
+// time. Callbacks scheduled through a Runner are executed serially: no
+// two callbacks of the same Runner ever run concurrently, so protocol
+// code needs no locking of its own.
+type Runner interface {
+	// Now returns the current time.
+	Now() Time
+	// Schedule arranges for fn to run delay from now. A non-positive
+	// delay runs fn as soon as possible, still after the current
+	// callback returns. The returned Timer may be used to cancel.
+	Schedule(delay Time, fn func()) *Timer
+	// Rand returns the runner's random source. Deterministic for the
+	// simulation engine given a seed.
+	Rand() *rand.Rand
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when popped
+	canceled bool
+	// stop is set by the real-time engine to a function that stops the
+	// underlying wall-clock timer.
+	stop func()
+}
+
+// Cancel prevents the timer's callback from running. Canceling an
+// already-fired or already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t == nil {
+		return
+	}
+	t.canceled = true
+	if t.stop != nil {
+		t.stop()
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (t *Timer) Canceled() bool { return t != nil && t.canceled }
+
+// ExternalTimer returns a Timer handle for Runner implementations
+// outside this package (e.g. the real-time engine in internal/emu).
+// The caller is responsible for honoring Canceled before firing.
+func ExternalTimer(at Time) *Timer { return &Timer{at: at, index: -1} }
+
+// SetStop registers fn to run when the timer is canceled, letting
+// external Runners stop their underlying wall-clock timers.
+func (t *Timer) SetStop(fn func()) { t.stop = fn }
+
+// When returns the virtual time the timer is (or was) due to fire.
+func (t *Timer) When() Time { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among same-time events: determinism
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use; all simulation work happens on the goroutine that
+// calls Run/RunUntil/Step.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	// Processed counts callbacks executed, for instrumentation.
+	Processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose
+// random source is seeded with seed (so runs are reproducible).
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements Runner.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand implements Runner.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule implements Runner.
+func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time at. Times
+// in the past are clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, t)
+	return t
+}
+
+// Pending returns the number of scheduled (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step executes the next event, if any, advancing the clock to its
+// time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		t := heap.Pop(&e.events).(*Timer)
+		if t.canceled {
+			continue
+		}
+		e.now = t.at
+		e.Processed++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ end, then sets the clock to end.
+// Events scheduled after end remain pending.
+func (e *Engine) RunUntil(end Time) {
+	for len(e.events) > 0 {
+		// Peek; heap root is the earliest event.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > end {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+var _ Runner = (*Engine)(nil)

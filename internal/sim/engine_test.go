@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := FromDuration(3 * time.Millisecond); got != 3*Millisecond {
+		t.Errorf("FromDuration = %v", got)
+	}
+	if (1500 * Millisecond).String() != "1.500s" {
+		t.Errorf("String() = %q", (1500 * Millisecond).String())
+	}
+	if (2 * Second).Duration() != 2*time.Second {
+		t.Errorf("Duration() = %v", (2 * Second).Duration())
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Error("MinTime wrong")
+	}
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Error("MaxTime wrong")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3*Second, func() { order = append(order, 3) })
+	e.Schedule(1*Second, func() { order = append(order, 1) })
+	e.Schedule(2*Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 3*Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(Second, func() { fired = true })
+	tm.Cancel()
+	if !tm.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	e.Run()
+	if fired {
+		t.Error("canceled timer fired")
+	}
+	// Canceling again (and canceling nil) must not panic.
+	tm.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel()
+	if nilTimer.Canceled() {
+		t.Error("nil timer reports canceled")
+	}
+}
+
+func TestEngineScheduleFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	var hits []Time
+	e.Schedule(Second, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(Second, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != Second || hits[1] != 2*Second {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(5 * Second)
+	var at Time = -1
+	e.Schedule(-3*Second, func() { at = e.Now() })
+	e.Run()
+	if at != 5*Second {
+		t.Errorf("negative delay fired at %v, want 5s", at)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Second, func() { count++ })
+	}
+	e.RunUntil(5 * Second)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 5*Second {
+		t.Errorf("now = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+	e.RunUntil(20 * Second)
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 20*Second {
+		t.Errorf("now advanced to %v, want 20s (idle advance)", e.Now())
+	}
+}
+
+func TestEngineRunUntilSkipsCanceled(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	t1 := e.Schedule(Second, func() { fired++ })
+	e.Schedule(2*Second, func() { fired++ })
+	t1.Cancel()
+	e.RunUntil(3 * Second)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := NewEngine(seed)
+		var vals []float64
+		var step func()
+		step = func() {
+			vals = append(vals, e.Rand().Float64())
+			if len(vals) < 50 {
+				e.Schedule(Time(e.Rand().Intn(1000))*Millisecond, step)
+			}
+		}
+		e.Schedule(0, step)
+		e.Run()
+		return vals
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+// Property: for any batch of scheduled delays, events fire in
+// nondecreasing time order and the clock equals each event's time.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		e := NewEngine(7)
+		var fireTimes []Time
+		for _, d := range delaysMs {
+			d := Time(d) * Millisecond
+			e.Schedule(d, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != len(delaysMs) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Schedule(7*Second, func() {})
+	if tm.When() != 7*Second {
+		t.Errorf("When() = %v, want 7s", tm.When())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i)*Second, func() {})
+	}
+	e.Run()
+	if e.Processed != 5 {
+		t.Errorf("Processed = %d, want 5", e.Processed)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%1000)*Microsecond, func() {})
+		if i%64 == 0 {
+			for e.Step() {
+			}
+		}
+	}
+}
+
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	// The RTO pattern: arm, cancel, re-arm.
+	e := NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tm *Timer
+	for i := 0; i < b.N; i++ {
+		tm.Cancel()
+		tm = e.Schedule(Second, func() {})
+		if i%1024 == 0 {
+			e.RunUntil(e.Now() + Millisecond)
+		}
+	}
+}
+
+func TestEngineTimerStress(t *testing.T) {
+	// Many overlapping, partially canceled timers: the heap must stay
+	// consistent and fire the survivors exactly once.
+	e := NewEngine(3)
+	const n = 20000
+	fired := make([]int, n)
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = e.Schedule(Time(e.Rand().Intn(1000))*Millisecond, func() { fired[i]++ })
+	}
+	for i := 0; i < n; i += 3 {
+		timers[i].Cancel()
+	}
+	e.Run()
+	for i := 0; i < n; i++ {
+		want := 1
+		if i%3 == 0 {
+			want = 0
+		}
+		if fired[i] != want {
+			t.Fatalf("timer %d fired %d times, want %d", i, fired[i], want)
+		}
+	}
+}

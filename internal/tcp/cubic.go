@@ -1,0 +1,74 @@
+package tcp
+
+import (
+	"math"
+
+	"taq/internal/sim"
+)
+
+// CUBIC constants (RFC 8312).
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// cubicState holds the CUBIC window-growth state of a sender.
+type cubicState struct {
+	// wMax is the window just before the last loss event.
+	wMax float64
+	// epochStart is when the current growth epoch began (the last
+	// window reduction); zero means no epoch yet.
+	epochStart sim.Time
+	started    bool
+}
+
+// onLoss records a window reduction (fast retransmit or RTO) at the
+// current window.
+func (c *cubicState) onLoss(cwnd float64, now sim.Time) {
+	// Fast convergence: if the window never regained the previous
+	// wMax, release bandwidth faster.
+	if cwnd < c.wMax {
+		c.wMax = cwnd * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = cwnd
+	}
+	c.epochStart = now
+	c.started = true
+}
+
+// target returns the CUBIC window for elapsed time t since the last
+// reduction, with the TCP-friendly lower bound (RFC 8312 §4.2) using
+// the smoothed RTT.
+func (c *cubicState) target(now sim.Time, srtt sim.Time) float64 {
+	if !c.started {
+		return math.Inf(1) // no loss yet: slow start governs
+	}
+	t := (now - c.epochStart).Seconds()
+	k := math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+	w := cubicC*math.Pow(t-k, 3) + c.wMax
+	// TCP-friendly region.
+	if srtt > 0 {
+		est := c.wMax*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*t/srtt.Seconds()
+		if est > w {
+			w = est
+		}
+	}
+	return w
+}
+
+// grow advances cwnd toward the CUBIC target for newly acked segments,
+// bounded to at most ~50% growth per RTT like real implementations.
+func (c *cubicState) grow(cwnd float64, newly int, now, srtt sim.Time) float64 {
+	target := c.target(now, srtt)
+	if math.IsInf(target, 1) {
+		return cwnd + float64(newly) // pre-loss: exponential
+	}
+	if target > 1.5*cwnd {
+		target = 1.5 * cwnd
+	}
+	if target <= cwnd {
+		// Concave plateau/TCP-friendly floor: creep up slowly.
+		return cwnd + float64(newly)/(100*cwnd)
+	}
+	return cwnd + (target-cwnd)*float64(newly)/cwnd
+}

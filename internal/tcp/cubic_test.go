@@ -1,0 +1,188 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+func TestCubicTargetBeforeLoss(t *testing.T) {
+	var c cubicState
+	if !math.IsInf(c.target(sim.Second, 100*sim.Millisecond), 1) {
+		t.Error("pre-loss CUBIC target should be unbounded (slow start governs)")
+	}
+}
+
+func TestCubicReductionAndRecoveryToWmax(t *testing.T) {
+	var c cubicState
+	c.onLoss(20, 0)
+	if c.wMax != 20 {
+		t.Fatalf("wMax = %v", c.wMax)
+	}
+	// At t = K, the cubic curve crosses wMax again.
+	k := math.Cbrt(20 * (1 - cubicBeta) / cubicC)
+	at := sim.FromSeconds(k)
+	got := c.target(at, 0)
+	if math.Abs(got-20) > 1e-6 {
+		t.Errorf("target at K = %v, want wMax 20", got)
+	}
+	// Before K the curve is below wMax (concave), after K above.
+	if c.target(at/2, 0) >= 20 {
+		t.Error("target before K should be below wMax")
+	}
+	if c.target(2*at, 0) <= 20 {
+		t.Error("target after K should exceed wMax")
+	}
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	var c cubicState
+	c.onLoss(20, 0)
+	// Second loss below the previous wMax → wMax shrinks faster than
+	// the raw window.
+	c.onLoss(10, sim.Second)
+	if c.wMax >= 10*(1+cubicBeta)/2+1e-9 || c.wMax <= 0 {
+		t.Errorf("fast convergence wMax = %v", c.wMax)
+	}
+}
+
+func TestCubicTCPFriendlyFloor(t *testing.T) {
+	var c cubicState
+	c.onLoss(10, 0)
+	// Long after the loss with a short RTT, the TCP-friendly estimate
+	// dominates the (still concave) cubic curve... compare growth
+	// with/without srtt at a small t.
+	withRTT := c.target(200*sim.Millisecond, 10*sim.Millisecond)
+	withoutRTT := c.target(200*sim.Millisecond, 0)
+	if withRTT < withoutRTT {
+		t.Errorf("TCP-friendly floor ignored: %v < %v", withRTT, withoutRTT)
+	}
+}
+
+func TestCubicGrowBounded(t *testing.T) {
+	var c cubicState
+	c.onLoss(10, 0)
+	// Far in the future the raw target explodes; growth per ack is
+	// clamped to 1.5x cwnd.
+	w := c.grow(10, 10, 100*sim.Second, 100*sim.Millisecond)
+	if w > 15+1e-9 {
+		t.Errorf("grow = %v, want ≤ 1.5×cwnd", w)
+	}
+	if w <= 10 {
+		t.Errorf("grow = %v, want growth", w)
+	}
+}
+
+func TestCubicSenderTransfersAndRecovers(t *testing.T) {
+	// End-to-end: CUBIC sender over a lossy path still delivers all
+	// data (reusing the tcp_test harness via an inline copy here,
+	// package-internal).
+	cfg := DefaultConfig()
+	cfg.Variant = VariantCubic
+	cfg.InitialCwnd = 10 // IW10 per §2.1
+	cfg.MinRTO = 200 * sim.Millisecond
+	e := sim.NewEngine(1)
+	var s *Sender
+	var r *Receiver
+	rng := e.Rand()
+	r = NewReceiver(e, cfg, 1, -1, func(p *packet.Packet) {
+		e.Schedule(10*sim.Millisecond, func() { s.Deliver(p) })
+	})
+	app := &SizedApp{Total: 500}
+	s = NewSender(e, cfg, 1, -1, app, func(p *packet.Packet) {
+		if p.Kind == packet.Data && rng.Float64() < 0.05 {
+			return
+		}
+		e.Schedule(10*sim.Millisecond, func() { r.Deliver(p) })
+	})
+	s.Start()
+	e.RunUntil(600 * sim.Second)
+	if !app.Done() {
+		t.Fatalf("CUBIC transfer incomplete: cum=%d timeouts=%d", s.CumAck(), s.Stats.Timeouts)
+	}
+	if r.SegmentsDelivered != 500 {
+		t.Errorf("delivered %d", r.SegmentsDelivered)
+	}
+}
+
+func TestSubPacketPacingBelowOnePacketPerRTT(t *testing.T) {
+	// A sub-packet sender with cwnd at the floor paces roughly one
+	// packet per cwnd⁻¹ RTTs instead of stalling.
+	cfg := DefaultConfig()
+	cfg.Variant = VariantSubPacket
+	e := sim.NewEngine(1)
+	var sent []sim.Time
+	var s *Sender
+	var r *Receiver
+	r = NewReceiver(e, cfg, 1, -1, func(p *packet.Packet) {
+		e.Schedule(50*sim.Millisecond, func() { s.Deliver(p) })
+	})
+	drop := true
+	s = NewSender(e, cfg, 1, -1, tcp_BulkApp(), func(p *packet.Packet) {
+		if p.Kind == packet.Data {
+			sent = append(sent, e.Now())
+			if drop {
+				return
+			}
+		}
+		e.Schedule(50*sim.Millisecond, func() { r.Deliver(p) })
+	})
+	s.Start()
+	// Black-hole data: repeated timeouts must halve cwnd to the floor
+	// but never silence the flow for more than rto (no exponential
+	// backoff).
+	e.RunUntil(30 * sim.Second)
+	if s.Backoff() != 1 {
+		t.Errorf("backoff = %d, want 1 (no exponential backoff)", s.Backoff())
+	}
+	if s.Cwnd() > 2*MinFracCwnd {
+		t.Errorf("cwnd = %v, want near floor %v under blackout", s.Cwnd(), MinFracCwnd)
+	}
+	if s.Stats.RepetitiveTimeouts != 0 {
+		t.Errorf("RepetitiveTimeouts = %d, want 0 in sub-packet mode", s.Stats.RepetitiveTimeouts)
+	}
+	// Max silence between transmissions ≤ ~2×RTO (no 64× backoff).
+	for i := 1; i < len(sent); i++ {
+		if gap := sent[i] - sent[i-1]; gap > 3*sim.Second {
+			t.Fatalf("silence of %v between transmissions", gap)
+		}
+	}
+	// Heal the path: the flow recovers and grows back to normal mode.
+	drop = false
+	e.RunUntil(90 * sim.Second)
+	if s.Cwnd() < 2 {
+		t.Errorf("cwnd = %v after healing, want recovery above the fractional region", s.Cwnd())
+	}
+}
+
+func tcp_BulkApp() App { return BulkApp{} }
+
+func TestSubPacketCompletesTransferUnderHeavyLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Variant = VariantSubPacket
+	cfg.MinRTO = 200 * sim.Millisecond
+	e := sim.NewEngine(2)
+	app := &SizedApp{Total: 100}
+	var s *Sender
+	var r *Receiver
+	r = NewReceiver(e, cfg, 1, -1, func(p *packet.Packet) {
+		e.Schedule(10*sim.Millisecond, func() { s.Deliver(p) })
+	})
+	rng := e.Rand()
+	s = NewSender(e, cfg, 1, -1, app, func(p *packet.Packet) {
+		if p.Kind == packet.Data && rng.Float64() < 0.2 {
+			return
+		}
+		e.Schedule(10*sim.Millisecond, func() { r.Deliver(p) })
+	})
+	s.Start()
+	e.RunUntil(600 * sim.Second)
+	if !app.Done() {
+		t.Fatalf("transfer incomplete at cum=%d", s.CumAck())
+	}
+	if r.SegmentsDelivered != 100 {
+		t.Errorf("delivered %d", r.SegmentsDelivered)
+	}
+}

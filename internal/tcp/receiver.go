@@ -1,0 +1,121 @@
+package tcp
+
+import (
+	"sort"
+
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// maxSackBlocks bounds how many out-of-order segment indexes an ACK
+// reports, mimicking the limited SACK option space.
+const maxSackBlocks = 8
+
+// Receiver is the TCP receiver half of a flow. It acknowledges every
+// data packet immediately (the paper's receivers do not delay acks),
+// caches out-of-order segments, and reports SACK information when
+// configured.
+type Receiver struct {
+	run  sim.Runner
+	cfg  Config
+	flow packet.FlowID
+	pool packet.PoolID
+	out  func(*packet.Packet) // ack return path
+
+	cumAck int
+	ooo    map[int]bool
+
+	// Delayed-ack state (only used when cfg.DelayedAck is set).
+	delPending bool
+	delTimer   *sim.Timer
+
+	// OnDeliver is called with the number of segments newly delivered
+	// in order and the current time; metrics collectors hang off it.
+	OnDeliver func(n int)
+
+	// Stats.
+	SegmentsDelivered uint64 // in-order segments passed up
+	DupSegments       uint64 // segments below cumAck received again
+	AcksSent          uint64
+}
+
+// NewReceiver creates the receiver half of a flow. out transmits ACKs
+// back toward the sender (the uncongested reverse path).
+func NewReceiver(run sim.Runner, cfg Config, flow packet.FlowID, pool packet.PoolID, out func(*packet.Packet)) *Receiver {
+	return &Receiver{run: run, cfg: cfg, flow: flow, pool: pool, out: out, ooo: make(map[int]bool)}
+}
+
+// CumAck returns the next expected segment index.
+func (r *Receiver) CumAck() int { return r.cumAck }
+
+// Deliver hands the receiver a packet that crossed the network.
+func (r *Receiver) Deliver(p *packet.Packet) {
+	switch p.Kind {
+	case packet.Syn:
+		r.out(&packet.Packet{
+			Flow: r.flow, Pool: r.pool, Kind: packet.SynAck,
+			Size: r.cfg.SynSize, Sent: r.run.Now(),
+		})
+	case packet.Data:
+		r.onData(p)
+	}
+}
+
+func (r *Receiver) onData(p *packet.Packet) {
+	newly := 0
+	switch {
+	case p.Seq < r.cumAck || r.ooo[p.Seq]:
+		r.DupSegments++
+	default:
+		r.ooo[p.Seq] = true
+		for r.ooo[r.cumAck] {
+			delete(r.ooo, r.cumAck)
+			r.cumAck++
+			newly++
+		}
+	}
+	r.SegmentsDelivered += uint64(newly)
+	if newly > 0 && r.OnDeliver != nil {
+		r.OnDeliver(newly)
+	}
+	// Delayed acks (RFC 1122-style): hold the ack for one in-order
+	// segment, release on the second, on any out-of-order arrival, or
+	// when the delay timer fires.
+	if r.cfg.DelayedAck && newly > 0 && len(r.ooo) == 0 && !r.delPending {
+		r.delPending = true
+		timeout := r.cfg.DelAckTimeout
+		if timeout <= 0 {
+			timeout = 100 * sim.Millisecond
+		}
+		r.delTimer = r.run.Schedule(timeout, func() {
+			if r.delPending {
+				r.delPending = false
+				r.sendAck()
+			}
+		})
+		return
+	}
+	r.delPending = false
+	r.delTimer.Cancel()
+	r.sendAck()
+}
+
+func (r *Receiver) sendAck() {
+	ack := &packet.Packet{
+		Flow: r.flow, Pool: r.pool, Kind: packet.Ack,
+		CumAck: r.cumAck, Size: r.cfg.AckSize, Sent: r.run.Now(),
+	}
+	if r.cfg.SACK && len(r.ooo) > 0 {
+		blocks := make([]int, 0, len(r.ooo))
+		for seq := range r.ooo {
+			blocks = append(blocks, seq)
+		}
+		sort.Ints(blocks)
+		if len(blocks) > maxSackBlocks {
+			blocks = blocks[:maxSackBlocks]
+		}
+		ack.Sacked = blocks
+	}
+	r.AcksSent++
+	r.out(ack)
+}

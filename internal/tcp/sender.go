@@ -1,0 +1,563 @@
+package tcp
+
+import (
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// Sender state machine states.
+type senderState uint8
+
+const (
+	stateClosed senderState = iota
+	stateSynSent
+	stateEstablished
+	stateFailed
+)
+
+type txInfo struct {
+	sentAt sim.Time
+	rexmit bool
+}
+
+// Sender is the TCP sender half of a flow. It is driven entirely by its
+// sim.Runner (timers) and by Deliver (packets from the network); all
+// outgoing packets go through the out callback.
+type Sender struct {
+	run  sim.Runner
+	cfg  Config
+	flow packet.FlowID
+	pool packet.PoolID
+	app  App
+	out  func(*packet.Packet)
+
+	state senderState
+
+	// Sequence state (segment granularity).
+	nextSeq int // next segment to (re)transmit in order
+	highTx  int // highest segment index ever transmitted + 1
+	cumAck  int // all segments below cumAck are acked
+
+	// Congestion state.
+	cwnd        float64
+	ssthresh    float64
+	dupAcks     int
+	inRecovery  bool
+	recover     int  // recovery ends when cumAck >= recover
+	rexmitNext  int  // first hole not yet retransmitted this recovery
+	partialSeen bool // a partial ack was seen this recovery (RFC 6582 Impatient)
+
+	sent   map[int]txInfo
+	sacked map[int]bool
+
+	// RTO state (RFC 6298).
+	srtt, rttvar sim.Time
+	haveSRTT     bool
+	rto          sim.Time
+	backoff      int
+	rtoTimer     *sim.Timer
+
+	// Handshake state.
+	synTimer   *sim.Timer
+	synSentAt  sim.Time
+	synRetries int
+	synRexmit  bool
+
+	// CUBIC growth state (Variant == VariantCubic).
+	cubic cubicState
+
+	// Sub-packet pacing state (Variant == VariantSubPacket).
+	nextPaced sim.Time
+	paceTimer *sim.Timer
+
+	// Stats accumulates per-sender counters.
+	Stats Stats
+
+	// OnEstablished fires once when the handshake completes.
+	OnEstablished func()
+	// OnFail fires if SYN retries are exhausted.
+	OnFail func()
+}
+
+// NewSender creates a sender for the given flow. out transmits packets
+// into the network (toward the bottleneck).
+func NewSender(run sim.Runner, cfg Config, flow packet.FlowID, pool packet.PoolID, app App, out func(*packet.Packet)) *Sender {
+	rto := cfg.InitialRTO
+	if cfg.FixedRTO > 0 {
+		rto = cfg.FixedRTO
+	}
+	return &Sender{
+		run:     run,
+		cfg:     cfg,
+		flow:    flow,
+		pool:    pool,
+		app:     app,
+		out:     out,
+		sent:    make(map[int]txInfo),
+		sacked:  make(map[int]bool),
+		backoff: 1,
+		rto:     rto,
+	}
+}
+
+// Flow returns the sender's flow ID.
+func (s *Sender) Flow() packet.FlowID { return s.flow }
+
+// CumAck returns the current cumulative acknowledgment (segments).
+func (s *Sender) CumAck() int { return s.cumAck }
+
+// Cwnd returns the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Backoff returns the current RTO backoff multiplier.
+func (s *Sender) Backoff() int { return s.backoff }
+
+// Established reports whether the handshake has completed.
+func (s *Sender) Established() bool { return s.state == stateEstablished }
+
+// Failed reports whether the connection gave up during the handshake.
+func (s *Sender) Failed() bool { return s.state == stateFailed }
+
+// SRTT returns the smoothed RTT estimate (zero before the first sample).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// RTO returns the current base retransmission timeout (before backoff).
+func (s *Sender) RTO() sim.Time { return s.rto }
+
+// Notify tells the sender its app has new data available (e.g. a
+// pipelined object was queued on an idle connection) so it can resume
+// transmitting.
+func (s *Sender) Notify() { s.trySend() }
+
+// Start begins the connection handshake.
+func (s *Sender) Start() {
+	if s.state != stateClosed {
+		return
+	}
+	s.state = stateSynSent
+	s.sendSyn(false)
+}
+
+// Stop cancels all pending timers; the sender becomes inert.
+func (s *Sender) Stop() {
+	s.rtoTimer.Cancel()
+	s.synTimer.Cancel()
+	s.paceTimer.Cancel()
+	s.rtoTimer, s.synTimer, s.paceTimer = nil, nil, nil
+	s.state = stateClosed
+}
+
+func (s *Sender) sendSyn(rexmit bool) {
+	if rexmit {
+		s.synRexmit = true
+		s.Stats.SynRetries++
+	} else {
+		s.synSentAt = s.run.Now()
+	}
+	s.out(&packet.Packet{
+		Flow: s.flow, Pool: s.pool, Kind: packet.Syn,
+		Size: s.cfg.SynSize, Retransmit: rexmit, Sent: s.run.Now(),
+	})
+	timeout := s.cfg.SynTimeout
+	for i := 0; i < s.synRetries; i++ {
+		timeout *= 2
+		if s.cfg.MaxSynTimeout > 0 && timeout >= s.cfg.MaxSynTimeout {
+			timeout = s.cfg.MaxSynTimeout
+			break
+		}
+	}
+	s.synTimer.Cancel()
+	s.synTimer = s.run.Schedule(timeout, s.onSynTimeout)
+}
+
+func (s *Sender) onSynTimeout() {
+	if s.state != stateSynSent {
+		return
+	}
+	s.synRetries++
+	if s.cfg.MaxSynRetries >= 0 && s.synRetries > s.cfg.MaxSynRetries {
+		s.state = stateFailed
+		if s.OnFail != nil {
+			s.OnFail()
+		}
+		return
+	}
+	s.sendSyn(true)
+}
+
+// Deliver hands the sender a packet from the network (SynAck or Ack).
+func (s *Sender) Deliver(p *packet.Packet) {
+	switch p.Kind {
+	case packet.SynAck:
+		s.onSynAck()
+	case packet.Ack:
+		s.onAck(p)
+	}
+}
+
+func (s *Sender) onSynAck() {
+	if s.state != stateSynSent {
+		return
+	}
+	s.synTimer.Cancel()
+	s.synTimer = nil
+	s.state = stateEstablished
+	s.cwnd = s.cfg.InitialCwnd
+	s.ssthresh = s.cfg.InitialSsthresh
+	if !s.synRexmit {
+		s.rttSample(s.run.Now() - s.synSentAt)
+	}
+	if s.OnEstablished != nil {
+		s.OnEstablished()
+	}
+	s.trySend()
+}
+
+// window returns the current send window in whole segments.
+func (s *Sender) window() int {
+	w := s.cwnd
+	if w > s.cfg.MaxWindow {
+		w = s.cfg.MaxWindow
+	}
+	if w < 1 {
+		w = 1
+	}
+	return int(w)
+}
+
+// outstanding returns the number of unacknowledged, un-SACKed segments
+// presumed in flight.
+func (s *Sender) outstanding() int {
+	n := s.nextSeq - s.cumAck
+	for seq := range s.sacked {
+		if seq >= s.cumAck && seq < s.nextSeq {
+			n--
+		}
+	}
+	return n
+}
+
+// subPacketMode reports whether the sub-packet pacer governs sending:
+// the variant is enabled and the window is in the fractional region.
+func (s *Sender) subPacketMode() bool {
+	return s.cfg.Variant == VariantSubPacket && s.cwnd < 2
+}
+
+// paceInterval returns the inter-segment gap at the current fractional
+// window: RTT/cwnd.
+func (s *Sender) paceInterval() sim.Time {
+	rtt := s.srtt
+	if rtt <= 0 {
+		rtt = s.cfg.InitialRTO / 3
+	}
+	return sim.Time(float64(rtt) / s.cwnd)
+}
+
+// trySend transmits as many segments as window and app data allow. In
+// sub-packet mode it instead releases at most one paced segment and
+// arms the pacing timer for the next.
+func (s *Sender) trySend() {
+	if s.state != stateEstablished {
+		return
+	}
+	for {
+		// Skip segments the receiver already holds (SACK).
+		for s.sacked[s.nextSeq] {
+			s.nextSeq++
+		}
+		if s.app.Available(s.nextSeq) <= 0 {
+			return
+		}
+		if s.subPacketMode() {
+			if s.outstanding() >= 1 {
+				return
+			}
+			now := s.run.Now()
+			if now < s.nextPaced {
+				if s.paceTimer == nil || s.paceTimer.Canceled() {
+					s.paceTimer = s.run.Schedule(s.nextPaced-now, func() {
+						s.paceTimer = nil
+						s.trySend()
+					})
+				}
+				return
+			}
+			s.nextPaced = now + s.paceInterval()
+		} else if s.outstanding() >= s.window() {
+			return
+		}
+		s.sendSegment(s.nextSeq)
+		s.nextSeq++
+	}
+}
+
+// sendSegment transmits segment seq, marking it a retransmission if it
+// was ever transmitted before.
+func (s *Sender) sendSegment(seq int) {
+	rexmit := seq < s.highTx
+	if seq >= s.highTx {
+		s.highTx = seq + 1
+		s.Stats.NewSegmentsSent++
+	} else {
+		s.Stats.Retransmits++
+	}
+	s.Stats.SegmentsSent++
+	s.sent[seq] = txInfo{sentAt: s.run.Now(), rexmit: rexmit}
+	s.out(&packet.Packet{
+		Flow: s.flow, Pool: s.pool, Kind: packet.Data,
+		Seq: seq, Size: s.cfg.MSS, Retransmit: rexmit, Sent: s.run.Now(),
+	})
+	if s.rtoTimer == nil || s.rtoTimer.Canceled() {
+		s.armRTO()
+	}
+}
+
+// effectiveRTO returns the backed-off, clamped timeout value.
+func (s *Sender) effectiveRTO() sim.Time {
+	t := s.rto * sim.Time(s.backoff)
+	if t > s.cfg.MaxRTO {
+		t = s.cfg.MaxRTO
+	}
+	return t
+}
+
+func (s *Sender) armRTO() {
+	s.rtoTimer.Cancel()
+	s.rtoTimer = s.run.Schedule(s.effectiveRTO(), s.onRTO)
+}
+
+func (s *Sender) onAck(p *packet.Packet) {
+	if s.state != stateEstablished {
+		return
+	}
+	if s.cfg.SACK {
+		for _, seq := range p.Sacked {
+			if seq >= s.cumAck {
+				s.sacked[seq] = true
+			}
+		}
+	}
+	switch {
+	case p.CumAck > s.cumAck:
+		s.onNewAck(p.CumAck)
+	case p.CumAck == s.cumAck && s.outstanding() > 0:
+		s.onDupAck()
+	}
+}
+
+func (s *Sender) onNewAck(newCum int) {
+	newly := newCum - s.cumAck
+	// Karn's rule + backoff collapse (§3.1.1): only segments never
+	// retransmitted yield RTT samples and reset the backoff.
+	sampled := false
+	var sample sim.Time
+	for seq := s.cumAck; seq < newCum; seq++ {
+		if info, ok := s.sent[seq]; ok && !info.rexmit {
+			sample = s.run.Now() - info.sentAt
+			sampled = true
+		}
+		delete(s.sent, seq)
+		delete(s.sacked, seq)
+	}
+	if sampled {
+		s.rttSample(sample)
+		s.backoff = 1
+	}
+	s.cumAck = newCum
+	if s.nextSeq < newCum {
+		s.nextSeq = newCum
+	}
+
+	if s.inRecovery {
+		if newCum >= s.recover {
+			// Full acknowledgment: leave recovery, deflate.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+			s.dupAcks = 0
+		} else {
+			// Partial ack (RFC 6582): retransmit the next hole,
+			// deflate by the amount acked, add back one segment.
+			s.cwnd -= float64(newly)
+			s.cwnd++
+			if s.cwnd < 1 {
+				s.cwnd = 1
+			}
+			s.retransmitHole()
+			// The "Impatient" variant: reset the retransmit timer
+			// only for the first partial ack, so a recovery spanning
+			// many losses runs into the RTO — the paper's model
+			// assumption that TCP cannot recover beyond a threshold
+			// of losses in one window (§3.1, citing Sheu & Wu).
+			if !s.partialSeen {
+				s.partialSeen = true
+				s.armRTO()
+			}
+		}
+	} else {
+		s.dupAcks = 0
+		switch {
+		case s.subPacketMode():
+			// Gentle multiplicative probe out of the fractional
+			// region: at one paced packet per RTT/cwnd, ×1.5 per ack
+			// grows the rate ~1.5× per effective round trip.
+			s.cwnd *= 1.5
+		case s.cwnd < s.ssthresh:
+			s.cwnd += float64(newly) // slow start
+		case s.cfg.Variant == VariantCubic:
+			s.cwnd = s.cubic.grow(s.cwnd, newly, s.run.Now(), s.srtt)
+		default:
+			s.cwnd += float64(newly) / s.cwnd // AIMD congestion avoidance
+		}
+		if s.cwnd > s.cfg.MaxWindow {
+			s.cwnd = s.cfg.MaxWindow
+		}
+	}
+
+	s.app.Acked(s.cumAck)
+	switch {
+	case s.outstanding() <= 0:
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	case !s.inRecovery:
+		s.armRTO()
+	}
+	s.trySend()
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	switch {
+	case !s.inRecovery && s.dupAcks == 3:
+		// Fast retransmit. Note that with cwnd < 4 fewer than three
+		// dupacks can ever arrive, so small-window flows fall back to
+		// timeouts exactly as the paper's model assumes.
+		s.ssthresh = s.reducedWindow()
+		s.recover = s.highTx
+		s.inRecovery = true
+		s.rexmitNext = s.cumAck
+		s.partialSeen = false
+		s.cwnd = s.ssthresh + 3
+		s.Stats.FastRetransmits++
+		s.retransmitHole()
+		s.armRTO()
+	case s.inRecovery:
+		s.cwnd++ // window inflation per arriving dupack
+		if s.cfg.SACK {
+			// SACK-based recovery may retransmit further holes as
+			// the pipe drains.
+			if s.outstanding() < s.window() {
+				s.retransmitHole()
+			}
+		}
+		s.trySend()
+	}
+}
+
+// retransmitHole resends the first unacknowledged, un-SACKed segment
+// that has not already been retransmitted in the current recovery, and
+// advances the retransmit pointer past it.
+func (s *Sender) retransmitHole() {
+	seq := s.cumAck
+	if seq < s.rexmitNext {
+		seq = s.rexmitNext
+	}
+	for seq < s.highTx && s.sacked[seq] {
+		seq++
+	}
+	if seq >= s.highTx {
+		return
+	}
+	s.sendSegment(seq)
+	s.rexmitNext = seq + 1
+}
+
+func (s *Sender) onRTO() {
+	if s.state != stateEstablished {
+		return
+	}
+	if s.outstanding() <= 0 {
+		s.rtoTimer = nil
+		return
+	}
+	s.Stats.Timeouts++
+	if s.cfg.Variant == VariantSubPacket {
+		// Future-work mode (§7): no exponential backoff — the loss
+		// halves the (possibly fractional) window, so the pacing
+		// interval doubles instead of the flow going silent.
+		s.ssthresh = 2
+		s.cwnd /= 2
+		if s.cwnd < MinFracCwnd {
+			s.cwnd = MinFracCwnd
+		}
+	} else {
+		if s.backoff > 1 {
+			s.Stats.RepetitiveTimeouts++
+		}
+		s.backoff *= 2
+		if s.backoff > 64 {
+			s.backoff = 64
+		}
+		if s.backoff > s.Stats.MaxBackoff {
+			s.Stats.MaxBackoff = s.backoff
+		}
+		s.ssthresh = s.reducedWindow()
+		s.cwnd = 1
+	}
+	s.inRecovery = false
+	s.dupAcks = 0
+	// Go-back-N: rewind the send pointer so unacked segments are
+	// retransmitted (the receiver's out-of-order cache advances the
+	// cumulative ack past anything it already holds).
+	s.rexmitNext = s.cumAck
+	s.retransmitHole()
+	s.nextSeq = s.rexmitNext
+	s.armRTO()
+}
+
+// reducedWindow returns the post-loss window target: half for
+// Reno-family, β·cwnd for CUBIC (which also records the loss epoch).
+// Never below 2 — "the sender never reaches a cwnd smaller than 2
+// through fast retransmissions" (§3.1).
+func (s *Sender) reducedWindow() float64 {
+	w := s.cwnd / 2
+	if s.cfg.Variant == VariantCubic {
+		s.cubic.onLoss(s.cwnd, s.run.Now())
+		w = s.cwnd * cubicBeta
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// rttSample folds a new RTT measurement into srtt/rttvar (RFC 6298).
+func (s *Sender) rttSample(r sim.Time) {
+	if r < 0 {
+		return
+	}
+	if s.cfg.FixedRTO > 0 {
+		s.srtt = r
+		s.haveSRTT = true
+		s.rto = s.cfg.FixedRTO
+		return
+	}
+	if !s.haveSRTT {
+		s.srtt = r
+		s.rttvar = r / 2
+		s.haveSRTT = true
+	} else {
+		d := s.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + r) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}

@@ -1,0 +1,192 @@
+package tfrc
+
+import (
+	"math"
+	"testing"
+
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// harness wires a TFRC sender/receiver pair over a fixed-delay path
+// with a programmable drop filter.
+type harness struct {
+	e    *sim.Engine
+	s    *Sender
+	r    *Receiver
+	drop func(*packet.Packet) bool
+}
+
+func newHarness(oneWay sim.Time) *harness {
+	h := &harness{e: sim.NewEngine(1)}
+	cfg := DefaultConfig()
+	h.r = NewReceiver(h.e, cfg, 1, packet.PoolNone, func(p *packet.Packet) {
+		if h.drop != nil && h.drop(p) {
+			return
+		}
+		h.e.Schedule(oneWay, func() { h.s.Deliver(p) })
+	})
+	h.s = NewSender(h.e, cfg, 1, packet.PoolNone, func(p *packet.Packet) {
+		if h.drop != nil && h.drop(p) {
+			return
+		}
+		h.e.Schedule(oneWay, func() { h.r.Deliver(p) })
+	})
+	return h
+}
+
+func TestEquationRateMatchesKnownValues(t *testing.T) {
+	// At p→0 the rate diverges; at p=1 it is tiny but finite.
+	if !math.IsInf(equationRate(500, 200*sim.Millisecond, 0), 1) {
+		t.Error("zero loss should give infinite equation rate")
+	}
+	// Sanity: s=500B, RTT=200ms, p=0.01 → X ≈ s/(R·sqrt(2p/3)) to
+	// first order = 500/(0.2·0.0816) ≈ 30.6 KB/s; the RTO term lowers
+	// it somewhat.
+	x := equationRate(500, 200*sim.Millisecond, 0.01)
+	if x < 15e3 || x > 31e3 {
+		t.Errorf("equationRate(p=0.01) = %.0f B/s, want ≈20-30KB/s", x)
+	}
+	// Monotone decreasing in p.
+	if equationRate(500, 200*sim.Millisecond, 0.1) >= x {
+		t.Error("equation rate not decreasing in p")
+	}
+}
+
+func TestLosslessSlowStartRampsRate(t *testing.T) {
+	h := newHarness(50 * sim.Millisecond)
+	h.s.Start()
+	h.e.RunUntil(10 * sim.Second)
+	// With no loss, rate should have multiplied far beyond the
+	// initial one-packet-per-RTT.
+	initial := 500 / 0.2
+	if h.s.Rate() < 10*initial {
+		t.Errorf("rate = %.0f B/s after 10s lossless, want ≫ %.0f", h.s.Rate(), initial)
+	}
+	if h.r.PacketsReceived == 0 || h.r.FeedbackSent == 0 {
+		t.Error("no data or feedback flowed")
+	}
+	// RTT estimate near the true 100ms.
+	if h.s.RTT() < 80*sim.Millisecond || h.s.RTT() > 150*sim.Millisecond {
+		t.Errorf("RTT estimate = %v, want ≈100ms", h.s.RTT())
+	}
+}
+
+func TestLossDropsToEquationRate(t *testing.T) {
+	h := newHarness(50 * sim.Millisecond)
+	rng := h.e.Rand()
+	h.drop = func(p *packet.Packet) bool {
+		return p.Kind == packet.Data && rng.Float64() < 0.1
+	}
+	h.s.Start()
+	h.e.RunUntil(60 * sim.Second)
+	if h.r.LossEvents == 0 {
+		t.Fatal("no loss events recorded")
+	}
+	p := h.r.LossEventRate()
+	if p < 0.01 || p > 0.4 {
+		t.Errorf("loss event rate = %.3f under 10%% drops", p)
+	}
+	// The sender's rate should sit near the equation rate for the
+	// measured p (within a factor ~3 given the noisy estimators).
+	want := equationRate(500, h.s.RTT(), p)
+	got := h.s.Rate()
+	if got > 3*want || got < want/3 {
+		t.Errorf("rate %.0f B/s vs equation %.0f B/s (p=%.3f)", got, want, p)
+	}
+}
+
+func TestNoFeedbackTimerHalvesRate(t *testing.T) {
+	h := newHarness(50 * sim.Millisecond)
+	h.s.Start()
+	h.e.RunUntil(5 * sim.Second)
+	before := h.s.Rate()
+	// Black-hole everything: feedback stops, rate must halve
+	// repeatedly down to the floor.
+	h.drop = func(*packet.Packet) bool { return true }
+	h.e.RunUntil(60 * sim.Second)
+	if h.s.RateHalvings == 0 {
+		t.Fatal("no-feedback timer never fired")
+	}
+	if h.s.Rate() >= before/2 {
+		t.Errorf("rate %.0f did not halve from %.0f", h.s.Rate(), before)
+	}
+	floor := 500 / (64 * sim.Second).Seconds()
+	if h.s.Rate() < floor-1e-9 {
+		t.Errorf("rate %.3f fell below the one-packet-per-64s floor %.3f", h.s.Rate(), floor)
+	}
+}
+
+func TestMinimumOnePacketPer64s(t *testing.T) {
+	// Even at p = 1 the equation floor keeps one packet per t_mbi.
+	cfg := DefaultConfig()
+	e := sim.NewEngine(1)
+	s := NewSender(e, cfg, 1, packet.PoolNone, func(*packet.Packet) {})
+	s.Deliver(&packet.Packet{Kind: packet.Feedback, FbLossRate: 1, FbRecvRate: 10})
+	floor := 500 / (64 * sim.Second).Seconds()
+	if s.Rate() < floor-1e-9 {
+		t.Errorf("rate %.4f below floor %.4f at p=1", s.Rate(), floor)
+	}
+}
+
+func TestReceiverLossIntervals(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := NewReceiver(e, DefaultConfig(), 1, packet.PoolNone, func(*packet.Packet) {})
+	// Deliver 0..9, skip 10, deliver 11..20: one loss event.
+	for seq := 0; seq < 10; seq++ {
+		r.Deliver(&packet.Packet{Kind: packet.Data, Seq: seq, Size: 500})
+	}
+	e.RunUntil(sim.Second)
+	for seq := 11; seq <= 20; seq++ {
+		r.Deliver(&packet.Packet{Kind: packet.Data, Seq: seq, Size: 500})
+	}
+	if r.LossEvents != 1 {
+		t.Fatalf("LossEvents = %d, want 1", r.LossEvents)
+	}
+	p := r.LossEventRate()
+	if p <= 0 || p > 0.5 {
+		t.Errorf("loss event rate = %v", p)
+	}
+}
+
+func TestReceiverCoalescesLossesWithinRTT(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := NewReceiver(e, DefaultConfig(), 1, packet.PoolNone, func(*packet.Packet) {})
+	// Two gaps back-to-back (same instant): one loss event.
+	r.Deliver(&packet.Packet{Kind: packet.Data, Seq: 0, Size: 500})
+	r.Deliver(&packet.Packet{Kind: packet.Data, Seq: 2, Size: 500})
+	r.Deliver(&packet.Packet{Kind: packet.Data, Seq: 4, Size: 500})
+	if r.LossEvents != 1 {
+		t.Errorf("LossEvents = %d, want 1 (coalesced within an RTT)", r.LossEvents)
+	}
+}
+
+func TestSenderStop(t *testing.T) {
+	h := newHarness(10 * sim.Millisecond)
+	h.s.Start()
+	h.e.RunUntil(sim.Second)
+	h.s.Stop()
+	h.r.Stop()
+	sent := h.s.PacketsSent
+	h.e.RunUntil(10 * sim.Second)
+	if h.s.PacketsSent != sent {
+		t.Error("sender kept transmitting after Stop")
+	}
+}
+
+func TestWeightedInterval(t *testing.T) {
+	if weightedInterval(nil) != 0 {
+		t.Error("empty intervals should weigh 0")
+	}
+	// Uniform intervals → that value.
+	iv := []float64{10, 10, 10, 10, 10, 10, 10, 10}
+	if got := weightedInterval(iv); math.Abs(got-10) > 1e-9 {
+		t.Errorf("weightedInterval(uniform 10) = %v", got)
+	}
+	// Recent intervals weigh more.
+	recentBig := []float64{100, 10, 10, 10, 10, 10, 10, 10}
+	recentSmall := []float64{10, 10, 10, 10, 10, 10, 10, 100}
+	if weightedInterval(recentBig) <= weightedInterval(recentSmall) {
+		t.Error("recent intervals should dominate the average")
+	}
+}

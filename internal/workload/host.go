@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"taq/internal/emu"
+	"taq/internal/packet"
+	"taq/internal/sim"
+	"taq/internal/tcp"
+	"taq/internal/topology"
+)
+
+// Host abstracts the substrate a web session runs on: the
+// discrete-event dumbbell (topology.Network) or the wall-clock
+// prototype testbed (emu.Testbed). The paper evaluates web workloads
+// on both (§5.4–5.5).
+type Host interface {
+	// Now returns the current virtual time.
+	Now() sim.Time
+	// ScheduleAt runs fn at the given virtual time (clamped to now).
+	ScheduleAt(at sim.Time, fn func())
+	// MSS returns the data segment size in bytes.
+	MSS() int
+	// StartTransfer opens a connection in pool transferring segs
+	// segments, then calls onComplete — or onFail if the handshake
+	// gives up. Callbacks run serialized with all other events.
+	StartTransfer(pool packet.PoolID, segs int, onComplete, onFail func())
+}
+
+// networkHost adapts topology.Network to Host.
+type networkHost struct{ net *topology.Network }
+
+// NetworkHost wraps a simulated network as a session Host.
+func NetworkHost(net *topology.Network) Host { return networkHost{net} }
+
+func (h networkHost) Now() sim.Time { return h.net.Engine.Now() }
+
+func (h networkHost) ScheduleAt(at sim.Time, fn func()) { h.net.Engine.ScheduleAt(at, fn) }
+
+func (h networkHost) MSS() int { return h.net.Cfg.TCP.MSS }
+
+func (h networkHost) StartTransfer(pool packet.PoolID, segs int, onComplete, onFail func()) {
+	app := &tcp.SizedApp{Total: segs}
+	f := h.net.AddFlow(pool, app, h.net.Engine.Now())
+	id := f.ID
+	app.OnComplete = func() {
+		h.net.Slicer.Finish(id, h.net.Engine.Now())
+		onComplete()
+	}
+	f.Sender.OnFail = func() {
+		h.net.Slicer.Finish(id, h.net.Engine.Now())
+		onFail()
+	}
+}
+
+// testbedHost adapts emu.Testbed to Host. All callbacks run under the
+// testbed engine's lock, so session state needs no extra locking.
+type testbedHost struct{ tb *emu.Testbed }
+
+// TestbedHost wraps a real-time testbed as a session Host.
+func TestbedHost(tb *emu.Testbed) Host { return testbedHost{tb} }
+
+func (h testbedHost) Now() sim.Time { return h.tb.Engine.Now() }
+
+func (h testbedHost) ScheduleAt(at sim.Time, fn func()) {
+	delay := at - h.tb.Engine.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	h.tb.Engine.Schedule(delay, fn)
+}
+
+func (h testbedHost) MSS() int { return h.tb.Cfg.TCP.MSS }
+
+func (h testbedHost) StartTransfer(pool packet.PoolID, segs int, onComplete, onFail func()) {
+	h.tb.AddSizedFlow(pool, segs, onComplete, onFail)
+}
