@@ -1,0 +1,28 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet taqvet test race fuzz check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# taqvet is the repo's own determinism & concurrency analyzer suite
+# (docs/static-analysis.md). It exits non-zero on any finding.
+taqvet:
+	$(GO) run ./cmd/taqvet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector only matters where real goroutines run: the
+# emulation layer and the pcap-style capture pipeline.
+race:
+	$(GO) test -race ./internal/emu/... ./internal/capture/...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzTrackerTransitions -fuzztime=$(FUZZTIME) ./internal/core
+
+check: build vet taqvet test race

@@ -1,0 +1,79 @@
+// Command taqvet runs the repo-specific determinism and concurrency
+// analyzers over the module (see docs/static-analysis.md):
+//
+//	go run ./cmd/taqvet ./...
+//
+// It prints "file:line:col: message [analyzer]" per finding and exits
+// non-zero when any finding survives //taq:allow suppressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"taq/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: taqvet [-list] [-only a,b] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs TAQ's determinism & concurrency analyzers (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := analysis.DefaultConfig()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var sel []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			found := false
+			for _, a := range analysis.All() {
+				if a.Name == name {
+					sel = append(sel, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "taqvet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+		}
+		cfg.Analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "taqvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, cfg)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "taqvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

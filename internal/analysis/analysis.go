@@ -1,0 +1,233 @@
+// Package analysis implements taqvet, the repo-specific static
+// analyzer suite that enforces the two invariants the compiler cannot:
+//
+//  1. Every package that runs under internal/sim must be bit-for-bit
+//     deterministic: time and randomness may only come from the
+//     sim.Runner (Now/Schedule/Rand), and nothing order-sensitive may
+//     depend on Go's randomized map iteration order. A single stray
+//     time.Now() or unsorted `for k := range m` silently de-reproduces
+//     the paper figures.
+//  2. internal/emu deliberately races real goroutine timers against one
+//     engine mutex, so its lock discipline must hold.
+//
+// The suite is stdlib-only (go/ast, go/parser, go/types, go/token) to
+// match the module's empty dependency set. See docs/static-analysis.md
+// for the contract each analyzer enforces and the suppression syntax.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printable as "file:line:col: message [analyzer]".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one check in the suite.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one package to one analyzer and collects its reports.
+type Pass struct {
+	Analyzer *Analyzer
+	Cfg      *Config
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Config selects which packages each analyzer applies to.
+type Config struct {
+	// Deterministic lists the base names of packages bound by the
+	// determinism contract (wallclock and maprange apply there).
+	Deterministic []string
+	// LockPackages lists the base names of packages whose mutex
+	// discipline lockdiscipline checks.
+	LockPackages []string
+	// Analyzers to run; nil means All().
+	Analyzers []*Analyzer
+}
+
+// DefaultConfig returns the repo's production configuration: the
+// simulation-facing packages are deterministic; emu is lock-checked.
+// emu, trace (the generator) and cmd/ are deliberately absent from the
+// deterministic set — they are allowed wall-clock time.
+func DefaultConfig() *Config {
+	return &Config{
+		Deterministic: []string{
+			"sim", "tcp", "queue", "core", "link", "topology",
+			"workload", "markov", "tfrc", "metrics", "packet", "capture",
+			// Analyzer fixtures under internal/analysis/testdata/src.
+			// Wildcard patterns never expand into testdata, so these
+			// only match when a fixture is named explicitly, e.g.
+			//   go run ./cmd/taqvet ./internal/analysis/testdata/src/wallclock
+			"wallclock", "maprange", "timerleak",
+		},
+		LockPackages: []string{"emu", "lockdiscipline"},
+	}
+}
+
+// IsDeterministic reports whether the package at pkgPath is bound by
+// the determinism contract. Matching is by the path's base name.
+func (c *Config) IsDeterministic(pkgPath string) bool {
+	return containsBase(c.Deterministic, pkgPath)
+}
+
+// IsLockChecked reports whether lockdiscipline applies to pkgPath.
+func (c *Config) IsLockChecked(pkgPath string) bool {
+	return containsBase(c.LockPackages, pkgPath)
+}
+
+func containsBase(list []string, pkgPath string) bool {
+	base := path.Base(pkgPath)
+	for _, name := range list {
+		if name == base {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, MapRange, TimerLeak, LockDiscipline}
+}
+
+// Run applies the configured analyzers to every package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(pkgs []*Package, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Cfg: cfg, Pkg: pkg}
+			pass.report = func(d Diagnostic) {
+				if !allow.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowSet records //taq:allow suppression comments: a diagnostic is
+// suppressed when an allow comment naming its analyzer sits on the same
+// line or on the line immediately above.
+type allowSet struct {
+	// byFile maps filename -> line -> analyzer names allowed there.
+	byFile map[string]map[int][]string
+}
+
+const allowPrefix = "taq:allow"
+
+func collectAllows(pkg *Package) *allowSet {
+	s := &allowSet{byFile: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				// First token is the analyzer list; anything after it
+				// is free-form rationale.
+				names := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return s
+}
+
+func (s *allowSet) suppressed(d Diagnostic) bool {
+	lines := s.byFile[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	default:
+		return "<expr>"
+	}
+}

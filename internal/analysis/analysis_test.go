@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// testConfig is the production config narrowed to the analyzer under
+// test; the fixture packages are already inside the default scope.
+func testConfig(analyzers ...*Analyzer) *Config {
+	cfg := DefaultConfig()
+	cfg.Analyzers = analyzers
+	return cfg
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// wants extracts the backtick-quoted regexes of "// want" comments,
+// keyed by file:line.
+func wants(t *testing.T, pkgs []*Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[string][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := posKey(pos)
+					for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+						}
+						out[key] = append(out[key], re)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// runCase loads one testdata package, runs the analyzers, and requires
+// the diagnostics to match the // want expectations exactly.
+func runCase(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+dir)
+	if err != nil {
+		t.Fatalf("loading testdata/%s: %v", dir, err)
+	}
+	expected := wants(t, pkgs)
+	diags := Run(pkgs, testConfig(analyzers...))
+
+	matched := make(map[string]int) // posKey -> how many wants consumed
+	for _, d := range diags {
+		key := posKey(d.Pos)
+		res := expected[key]
+		ok := false
+		for i, re := range res {
+			if re == nil {
+				continue
+			}
+			if re.MatchString(d.Message) {
+				res[i] = nil
+				matched[key]++
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range expected {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, re)
+			}
+		}
+	}
+}
+
+func TestWallclock(t *testing.T)      { runCase(t, "wallclock", Wallclock) }
+func TestMapRange(t *testing.T)       { runCase(t, "maprange", MapRange) }
+func TestTimerLeak(t *testing.T)      { runCase(t, "timerleak", TimerLeak) }
+func TestLockDiscipline(t *testing.T) { runCase(t, "lockdiscipline", LockDiscipline) }
+
+// TestRepoIsClean runs the whole production suite over the module: the
+// determinism contract is a tier-1 invariant, so a stray time.Now or an
+// order-sensitive map range anywhere fails the normal test run, not
+// just CI's taqvet step.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	for _, d := range Run(pkgs, DefaultConfig()) {
+		t.Errorf("finding: %s", d)
+	}
+}
+
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "wallclock",
+		Message:  "msg",
+	}
+	if got, want := d.String(), "x.go:3:7: msg [wallclock]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestConfigScoping(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, path := range []string{"taq/internal/core", "taq/internal/sim", "taq/internal/metrics"} {
+		if !cfg.IsDeterministic(path) {
+			t.Errorf("IsDeterministic(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{"taq/internal/emu", "taq/internal/trace", "taq/cmd/taqsim", "taq"} {
+		if cfg.IsDeterministic(path) {
+			t.Errorf("IsDeterministic(%q) = true, want false", path)
+		}
+	}
+	if !cfg.IsLockChecked("taq/internal/emu") || cfg.IsLockChecked("taq/internal/core") {
+		t.Error("lockdiscipline should apply to emu and only emu")
+	}
+}

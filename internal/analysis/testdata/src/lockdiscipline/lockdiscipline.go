@@ -1,0 +1,72 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer: a
+// struct with a sync.Mutex field has guarded fields (those any method
+// mutates); exported methods must lock before touching them. Fields
+// written only at construction are immutable and exempt.
+package lockdiscipline
+
+import "sync"
+
+// Engine mirrors emu.Engine's shape: one mutex serializing callbacks.
+type Engine struct {
+	mu      sync.Mutex
+	stopped bool  // guarded: written by Stop
+	count   int   // guarded: written by BadCount
+	seed    int64 // immutable: written only in New
+}
+
+// New is a constructor; its writes do not make fields guarded.
+func New(seed int64) *Engine {
+	e := &Engine{}
+	e.seed = seed
+	return e
+}
+
+// Stop locks before mutating: clean.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stopped = true
+}
+
+// Good locks before reading guarded state: clean.
+func (e *Engine) Good() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
+}
+
+// Bad reads guarded state without the lock.
+func (e *Engine) Bad() bool {
+	return e.stopped // want `touches guarded field "stopped"`
+}
+
+// BadCount mutates guarded state without the lock.
+func (e *Engine) BadCount() {
+	e.count++ // want `touches guarded field "count"`
+}
+
+// Seed reads an immutable field: no lock needed.
+func (e *Engine) Seed() int64 {
+	return e.seed
+}
+
+// Deferred locks inside the goroutine closure before the access; the
+// lexical lock-before-access rule accepts it.
+func (e *Engine) Deferred() {
+	go func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.count++
+	}()
+}
+
+// Racy demonstrates suppression.
+func (e *Engine) Racy() bool {
+	//taq:allow lockdiscipline (advisory read; staleness is acceptable)
+	return e.stopped
+}
+
+// internalPeek is unexported: callers are expected to hold the lock.
+func (e *Engine) internalPeek() bool { return e.stopped }
+
+var _ = (&Engine{}).internalPeek

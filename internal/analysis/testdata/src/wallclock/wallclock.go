@@ -1,0 +1,42 @@
+// Package wallclock exercises the wallclock analyzer: forbidden host
+// clock and global math/rand uses, allowed constructors and duration
+// arithmetic, and //taq:allow suppression.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the host clock and the process-global random source.
+func Bad() {
+	_ = time.Now()                  // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond)    // want `wall-clock time\.Sleep`
+	_ = time.Since(time.Unix(0, 0)) // want `wall-clock time\.Since`
+	_ = time.After(time.Second)     // want `wall-clock time\.After`
+	_ = rand.Intn(10)               // want `global rand\.Intn`
+	_ = rand.Float64()              // want `global rand\.Float64`
+}
+
+// BadValue passes the clock as a value; still a host-clock dependency.
+func BadValue() func() time.Time {
+	return time.Now // want `wall-clock time\.Now`
+}
+
+// Good uses a locally seeded source and pure duration arithmetic —
+// exactly what deterministic code should do.
+func Good() time.Duration {
+	rng := rand.New(rand.NewSource(1))
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	var zipf = rand.NewZipf(rng, 1.2, 1, 100)
+	_ = zipf.Uint64()
+	return 3 * time.Millisecond
+}
+
+// Allowed demonstrates the suppression comment, above and trailing.
+func Allowed() {
+	//taq:allow wallclock (timing a diagnostic dump, not simulation state)
+	_ = time.Now()
+	_ = time.Now() //taq:allow wallclock
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TimerLeak flags a *sim.Timer returned by Schedule (or any call) whose
+// result is discarded inside a method of a type that has a teardown
+// path (Stop/Close/Shutdown/Teardown). Such a timer can never be
+// canceled: after teardown it either fires into freed state or — in the
+// real-time engine — keeps a goroutine timer alive. Types without a
+// teardown path run to quiescence, so fire-and-forget is fine there.
+var TimerLeak = &Analyzer{
+	Name: "timerleak",
+	Doc:  "flag discarded *sim.Timer results in types that have a teardown path",
+	Run:  runTimerLeak,
+}
+
+var teardownNames = []string{"Stop", "Close", "Shutdown", "Teardown"}
+
+func runTimerLeak(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named := receiverNamed(info, fd)
+			if named == nil {
+				continue
+			}
+			td := teardownMethod(named)
+			if td == "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isSimTimerPtr(info.TypeOf(call)) {
+					return true
+				}
+				p.Reportf(es.Pos(),
+					"discarded *sim.Timer from %s; %s has a teardown path (%s) — keep the timer and Cancel it there",
+					exprString(call.Fun), named.Obj().Name(), td)
+				return true
+			})
+		}
+	}
+}
+
+// receiverNamed resolves the receiver's named type (through pointers).
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// teardownMethod returns the name of the type's teardown method, or "".
+func teardownMethod(named *types.Named) string {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		for _, td := range teardownNames {
+			if name == td {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// isSimTimerPtr reports whether t is *Timer of the sim package.
+func isSimTimerPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkgPath := named.Obj().Pkg().Path()
+	return named.Obj().Name() == "Timer" &&
+		(pkgPath == "taq/internal/sim" || strings.HasSuffix(pkgPath, "/sim") || pkgPath == "sim")
+}

@@ -191,6 +191,11 @@ func (f *classFIFO) remove(p *packet.Packet) {
 // equal-occupancy ties fall on the flow least in danger of a timeout).
 // ok is false when the class is empty.
 func (f *classFIFO) BestVictim(score func(packet.FlowID) float64) (flow packet.FlowID, occ int, ok bool) {
+	// The loop computes a maximum with a total-order tie-break
+	// (occupancy, then score, then lowest flow id), so the winner is
+	// independent of iteration order; sorting here would put an
+	// O(n log n) pass on the per-drop hot path for nothing.
+	//taq:allow maprange (total-order tie-break makes the max order-independent)
 	for fl, n := range f.occ {
 		s := score(fl)
 		switch {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"taq/internal/packet"
 	"taq/internal/sim"
 )
@@ -367,11 +369,24 @@ func (t *tracker) recordDrop(p *packet.Packet, rtx bool) {
 	}
 }
 
+// sortedFlowIDs returns the tracked flow ids in ascending order, so
+// per-flow passes (and their floating-point accumulations) run in a
+// deterministic order regardless of map layout.
+func (t *tracker) sortedFlowIDs() []packet.FlowID {
+	ids := make([]packet.FlowID, 0, len(t.flows))
+	for id := range t.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // scan performs the periodic silence pass: flows that have gone quiet
 // move into the silence states; long-dead flows are evicted.
 func (t *tracker) scan() {
 	now := t.run.Now()
-	for id, f := range t.flows {
+	for _, id := range t.sortedFlowIDs() {
+		f := t.flows[id]
 		if f.silentFor(now) > t.cfg.FlowExpiry {
 			delete(t.flows, id)
 			continue
@@ -415,7 +430,8 @@ func (t *tracker) scan() {
 // epoch estimates, which weights the proportional fairness model.
 func (t *tracker) activeStats() (n int, invEpochSum float64) {
 	now := t.run.Now()
-	for _, f := range t.flows {
+	for _, id := range t.sortedFlowIDs() {
+		f := t.flows[id]
 		if f.silentFor(now) <= 4*f.epoch || f.state == StateTimeoutSilence ||
 			f.state == StateExtendedSilence || f.state == StateTimeoutRecovery {
 			n++
@@ -440,7 +456,8 @@ func (t *tracker) activePools() (pools int, flowsPerPool map[packet.PoolID]int) 
 	now := t.run.Now()
 	flowsPerPool = make(map[packet.PoolID]int)
 	singletons := 0
-	for _, f := range t.flows {
+	for _, id := range t.sortedFlowIDs() {
+		f := t.flows[id]
 		active := f.silentFor(now) <= 4*f.epoch || f.state == StateTimeoutSilence ||
 			f.state == StateExtendedSilence || f.state == StateTimeoutRecovery
 		if !active {

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"sort"
+
 	"taq/internal/packet"
 	"taq/internal/sim"
 )
@@ -63,6 +65,18 @@ func (s *Slicer) Record(f packet.FlowID, at sim.Time, bytes int) {
 // NumFlows returns the number of registered flows.
 func (s *Slicer) NumFlows() int { return len(s.flows) }
 
+// sortedIDs returns the registered flow ids in ascending order, so
+// share vectors and floating-point sums are assembled deterministically
+// rather than in map order.
+func (s *Slicer) sortedIDs() []packet.FlowID {
+	ids := make([]packet.FlowID, 0, len(s.flows))
+	for id := range s.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // aliveIn reports whether the flow overlaps slice i.
 func (fs *flowSeries) aliveIn(i int, width sim.Time) bool {
 	sliceStart := sim.Time(i) * width
@@ -77,7 +91,8 @@ func (fs *flowSeries) aliveIn(i int, width sim.Time) bool {
 // flows alive during that slice (zeros included).
 func (s *Slicer) SliceShares(i int) []float64 {
 	var out []float64
-	for _, fs := range s.flows {
+	for _, id := range s.sortedIDs() {
+		fs := s.flows[id]
 		if fs.aliveIn(i, s.width) {
 			out = append(out, fs.bytes[i])
 		}
@@ -111,7 +126,8 @@ func (s *Slicer) MeanSliceJFI(from, to int) float64 {
 // [from, to) — long-term fairness.
 func (s *Slicer) TotalJFI(from, to int) float64 {
 	var shares []float64
-	for _, fs := range s.flows {
+	for _, id := range s.sortedIDs() {
+		fs := s.flows[id]
 		total := 0.0
 		alive := false
 		for i := from; i < to; i++ {
@@ -133,9 +149,14 @@ func (s *Slicer) FlowTotal(f packet.FlowID) float64 {
 	if !ok {
 		return 0
 	}
+	slices := make([]int, 0, len(fs.bytes))
+	for i := range fs.bytes {
+		slices = append(slices, i)
+	}
+	sort.Ints(slices)
 	t := 0.0
-	for _, b := range fs.bytes {
-		t += b
+	for _, i := range slices {
+		t += fs.bytes[i]
 	}
 	return t
 }
@@ -158,9 +179,11 @@ type EvolutionCounts struct {
 // Evolution computes flow-evolution counts for slices [from+1, to).
 func (s *Slicer) Evolution(from, to int) EvolutionCounts {
 	var ev EvolutionCounts
+	ids := s.sortedIDs()
 	for i := from + 1; i < to; i++ {
 		var arr, drp, mnt, stl int
-		for _, fs := range s.flows {
+		for _, id := range ids {
+			fs := s.flows[id]
 			if !fs.aliveIn(i, s.width) || !fs.aliveIn(i-1, s.width) {
 				continue
 			}

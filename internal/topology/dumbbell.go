@@ -7,6 +7,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 
 	"taq/internal/capture"
 	"taq/internal/core"
@@ -416,8 +417,13 @@ func (n *Network) Goodput() float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	var bytes float64
+	ids := make([]packet.FlowID, 0, len(n.flows))
 	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var bytes float64
+	for _, id := range ids {
 		bytes += n.Slicer.FlowTotal(id)
 	}
 	return bytes * 8 / elapsed / float64(n.Cfg.Bandwidth)

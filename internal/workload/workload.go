@@ -6,6 +6,8 @@
 package workload
 
 import (
+	"sort"
+
 	"taq/internal/metrics"
 	"taq/internal/packet"
 	"taq/internal/sim"
@@ -190,9 +192,21 @@ func ReplayOn(host Host, recs []trace.Record, maxConns int, mode ReplayMode) map
 
 // CollectObjectSamples gathers completed downloads as size samples for
 // Fig 1-style bucket analysis.
+// sortedClients returns the session client ids in ascending order, so
+// sample collections and CDF sums are assembled deterministically.
+func sortedClients(sessions map[int]*Session) []int {
+	ids := make([]int, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 func CollectObjectSamples(sessions map[int]*Session) []metrics.SizeSample {
 	var out []metrics.SizeSample
-	for _, s := range sessions {
+	for _, id := range sortedClients(sessions) {
+		s := sessions[id]
 		for _, r := range s.Results {
 			if r.Done {
 				out = append(out, metrics.SizeSample{
@@ -209,7 +223,8 @@ func CollectObjectSamples(sessions map[int]*Session) []metrics.SizeSample {
 // whose size lies in [loBytes, hiBytes).
 func DownloadCDF(sessions map[int]*Session, loBytes, hiBytes int) *metrics.CDF {
 	var c metrics.CDF
-	for _, s := range sessions {
+	for _, id := range sortedClients(sessions) {
+		s := sessions[id]
 		for _, r := range s.Results {
 			if r.Done && r.SizeBytes >= loBytes && r.SizeBytes < hiBytes {
 				c.Add(r.DownloadTime().Seconds())
