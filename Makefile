@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHSCALE ?= 0.05
 
-.PHONY: build vet taqvet test race fuzz check
+.PHONY: build vet taqvet test race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -18,11 +19,20 @@ test:
 	$(GO) test ./...
 
 # The race detector only matters where real goroutines run: the
-# emulation layer and the pcap-style capture pipeline.
+# emulation layer, the pcap-style capture pipeline, and the experiment
+# sweep worker pool.
 race:
 	$(GO) test -race ./internal/emu/... ./internal/capture/...
+	$(GO) test -race -run 'TestRunPoints|TestParallelSweep' ./experiments
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTrackerTransitions -fuzztime=$(FUZZTIME) ./internal/core
+
+# bench records the perf trajectory: engine/discipline micro-benchmarks
+# to stderr, and the full experiment suite's metrics + wall times to
+# BENCH_results.json (see EXPERIMENTS.md's benchmark section).
+bench:
+	$(GO) test -run='^$$' -bench 'Engine|Discipline' -benchmem ./internal/sim .
+	$(GO) run ./cmd/taqbench -json -scale $(BENCHSCALE) -out BENCH_results.json
 
 check: build vet taqvet test race

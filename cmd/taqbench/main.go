@@ -2,13 +2,23 @@
 // per table/figure; see DESIGN.md §3) at a chosen scale and prints the
 // same rows/series the paper reports.
 //
+// Sweep-shaped experiments fan their points out over a worker pool
+// (-parallel, default GOMAXPROCS); results are collected by index, so
+// stdout is byte-identical whatever the worker count. Timing lines go
+// to stderr for the same reason. -json emits a machine-readable report
+// (per-experiment metrics, wall time, optional serial-baseline speedup)
+// for the perf trajectory tracked in BENCH_results.json.
+//
 // Example:
 //
 //	taqbench -experiment fig2,fig8 -scale 0.3
 //	taqbench -experiment all -scale 1        # paper scale (slow)
+//	taqbench -experiment fig2 -parallel 8 -baseline
+//	taqbench -json -scale 0.05 -out BENCH_results.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,99 +30,183 @@ import (
 	"taq/internal/topology"
 )
 
+// result is what each experiment runner hands back: the rendered
+// human output plus headline metrics for the JSON report.
+type result struct {
+	output  string
+	metrics map[string]float64
+}
+
+// expReport is one experiment's entry in the -json report.
+type expReport struct {
+	Name     string  `json:"name"`
+	WallSecs float64 `json:"wall_secs"`
+	// SerialWallSecs and Speedup are present only with -baseline.
+	SerialWallSecs float64            `json:"serial_wall_secs,omitempty"`
+	Speedup        float64            `json:"speedup,omitempty"`
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
+	Output         string             `json:"output,omitempty"`
+}
+
+// report is the full -json document.
+type report struct {
+	Scale         float64     `json:"scale"`
+	Seed          int64       `json:"seed"`
+	Parallel      int         `json:"parallel"`
+	Experiments   []expReport `json:"experiments"`
+	TotalWallSecs float64     `json:"total_wall_secs"`
+}
+
 func main() {
 	var (
-		list  = flag.String("experiment", "all", "comma-separated: fig1,fig2,fig3,fig6,fig8,fig9,fig10,fig11,fig12,hang,redsfq,model,tfrc,ablation,iw,subpacket,pcap,tbweb or all")
-		scale = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables where supported (fig2, fig8, fig9)")
+		list     = flag.String("experiment", "all", "comma-separated: fig1,fig2,fig3,fig6,fig8,fig9,fig10,fig11,fig12,hang,redsfq,model,tfrc,ablation,iw,subpacket,pcap,tbweb or all")
+		scale    = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables where supported (fig2, fig8, fig9)")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
+		outPath  = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		baseline = flag.Bool("baseline", false, "also run each experiment serially and report the parallel speedup")
 	)
 	flag.Parse()
 	s := experiments.Scale(*scale)
+	experiments.SetParallelism(*parallel)
 
-	runners := map[string]func(){
-		"model": func() {
+	runners := map[string]func() result{
+		"model": func() result {
 			m, err := experiments.RunModelTables()
 			if err != nil {
 				fail(err)
 			}
-			fmt.Println(m.Table())
+			return result{m.Table(), map[string]float64{
+				"tipping_point": m.TippingPoint,
+			}}
 		},
-		"fig1": func() {
-			fmt.Println(experiments.RunDownloadScatter(s, *seed).Table())
+		"fig1": func() result {
+			r := experiments.RunDownloadScatter(s, *seed)
+			return result{r.Table(), nil}
 		},
-		"fig2": func() {
+		"fig2": func() result {
 			r := experiments.RunFairness(experiments.FairnessConfig{Queue: topology.DropTail, Seed: *seed}, s)
-			fmt.Println(render(r, *csv))
 			lt := experiments.RunLongTermFairness(topology.DropTail, s)
-			fmt.Println("long-term slices:")
-			fmt.Println(render(lt, *csv))
+			out := render(r, *csv) + "\nlong-term slices:\n" + render(lt, *csv) + "\n"
+			return result{out, map[string]float64{
+				"points":              float64(len(r.Points)),
+				"subpacket_short_jfi": experiments.MeanShortJFI(r.PointsBelow(10000)),
+				"long_term_points":    float64(len(lt.Points)),
+				"long_term_short_jfi": experiments.MeanShortJFI(lt.PointsBelow(10000)),
+			}}
 		},
-		"fig3": func() {
+		"fig3": func() result {
 			r := experiments.RunBufferTradeoff(s, *seed)
-			fmt.Println(r.Table())
-			fmt.Println("buffer (RTTs) required for JFI ≥ 0.8:", r.RequiredBuffer(0.8))
+			out := r.Table() + fmt.Sprintf("buffer (RTTs) required for JFI ≥ 0.8: %v\n", r.RequiredBuffer(0.8))
+			return result{out, map[string]float64{
+				"points": float64(len(r.Points)),
+			}}
 		},
-		"hang": func() {
-			fmt.Println(experiments.RunHangTimes(topology.DropTail, s, *seed).Table())
+		"hang": func() result {
+			r := experiments.RunHangTimes(topology.DropTail, s, *seed)
+			m := map[string]float64{"points": float64(len(r.Points))}
+			for _, p := range r.Points {
+				m[fmt.Sprintf("users%d_frac_over20s", p.Users)] = p.FracOver20s
+			}
+			return result{r.Table(), m}
 		},
-		"redsfq": func() {
-			fmt.Println(experiments.RunRedSfqEquivalence(s, *seed).Table())
+		"redsfq": func() result {
+			r := experiments.RunRedSfqEquivalence(s, *seed)
+			return result{r.Table(), map[string]float64{
+				"points": float64(len(r.Points)),
+			}}
 		},
-		"fig6": func() {
-			fmt.Println(experiments.RunModelValidation(s, *seed).Table())
+		"fig6": func() result {
+			r := experiments.RunModelValidation(s, *seed)
+			return result{r.Table(), nil}
 		},
-		"fig8": func() {
+		"fig8": func() result {
 			r := experiments.RunFairness(experiments.FairnessConfig{Queue: topology.TAQ, Seed: *seed}, s)
-			fmt.Println(render(r, *csv))
+			return result{render(r, *csv) + "\n", map[string]float64{
+				"points":              float64(len(r.Points)),
+				"subpacket_short_jfi": experiments.MeanShortJFI(r.PointsBelow(10000)),
+			}}
 		},
-		"fig9": func() {
-			fmt.Println(render(experiments.RunFlowEvolution(topology.DropTail, s, *seed), *csv))
-			fmt.Println(render(experiments.RunFlowEvolution(topology.TAQ, s, *seed), *csv))
+		"fig9": func() result {
+			rs := experiments.RunFlowEvolutionSweep([]topology.QueueKind{topology.DropTail, topology.TAQ}, s, *seed)
+			var out strings.Builder
+			m := map[string]float64{}
+			for _, r := range rs {
+				out.WriteString(render(r, *csv) + "\n")
+				m[string(r.Queue)+"_mean_stalled"] = r.MeanStalled
+				m[string(r.Queue)+"_mean_maintained"] = r.MeanMaintained
+			}
+			return result{out.String(), m}
 		},
-		"fig10": func() {
+		"fig10": func() result {
 			r := experiments.RunShortFlows(topology.TAQ, s, *seed)
-			fmt.Println(r.Table())
-			fmt.Printf("completed: %.2f  size/time correlation: %.2f\n\n",
+			out := r.Table() + fmt.Sprintf("completed: %.2f  size/time correlation: %.2f\n\n",
 				r.CompletedFraction(), r.Correlation())
+			return result{out, map[string]float64{
+				"completed_fraction": r.CompletedFraction(),
+				"size_correlation":   r.Correlation(),
+			}}
 		},
-		"fig11": func() {
+		"fig11": func() result {
 			r := experiments.RunTestbedFairness(experiments.TestbedOptions{
 				Speedup:         40,
 				VirtualDuration: sim.Time(float64(*scale) * float64(240*sim.Second)),
 				Seed:            *seed,
 			})
-			fmt.Println(r.Table())
+			return result{r.Table(), nil}
 		},
-		"fig12": func() {
+		"fig12": func() result {
 			r := experiments.RunAdmissionWeb(s, *seed)
-			fmt.Println(r.Table())
-			fmt.Printf("median speedup: small objects %.1fx, large objects %.1fx\n\n",
+			out := r.Table() + fmt.Sprintf("median speedup: small objects %.1fx, large objects %.1fx\n\n",
 				r.SmallObjectSpeedup(), r.LargeObjectSpeedup())
+			return result{out, map[string]float64{
+				"small_object_speedup": r.SmallObjectSpeedup(),
+				"large_object_speedup": r.LargeObjectSpeedup(),
+			}}
 		},
-		"tfrc": func() {
-			fmt.Println(experiments.RunTFRCComparison(s, *seed).Table())
+		"tfrc": func() result {
+			r := experiments.RunTFRCComparison(s, *seed)
+			return result{r.Table(), map[string]float64{
+				"points": float64(len(r.Points)),
+			}}
 		},
-		"ablation": func() {
-			fmt.Println(experiments.RunAblation(s, *seed).Table())
+		"ablation": func() result {
+			r := experiments.RunAblation(s, *seed)
+			m := map[string]float64{"points": float64(len(r.Points))}
+			if p, ok := r.Point("taq-full"); ok {
+				m["taq_full_short_jfi"] = p.ShortJFI
+			}
+			if p, ok := r.Point("droptail"); ok {
+				m["droptail_short_jfi"] = p.ShortJFI
+			}
+			return result{r.Table(), m}
 		},
-		"iw": func() {
-			fmt.Println(experiments.RunInitialWindow(s, *seed).Table())
+		"iw": func() result {
+			r := experiments.RunInitialWindow(s, *seed)
+			return result{r.Table(), map[string]float64{
+				"points": float64(len(r.Points)),
+			}}
 		},
-		"subpacket": func() {
-			fmt.Println(experiments.RunSubPacketTCP(s, *seed).Table())
+		"subpacket": func() result {
+			r := experiments.RunSubPacketTCP(s, *seed)
+			return result{r.Table(), map[string]float64{
+				"points": float64(len(r.Points)),
+			}}
 		},
-		"pcap": func() {
-			fmt.Println(experiments.RunPcapAnalysis(topology.DropTail, s, *seed).Table())
-			fmt.Println(experiments.RunPcapAnalysis(topology.TAQ, s, *seed).Table())
+		"pcap": func() result {
+			a := experiments.RunPcapAnalysis(topology.DropTail, s, *seed)
+			b := experiments.RunPcapAnalysis(topology.TAQ, s, *seed)
+			return result{a.Table() + "\n" + b.Table() + "\n", nil}
 		},
-		"tbweb": func() {
+		"tbweb": func() result {
 			r := experiments.RunTestbedWeb(experiments.TestbedWebOptions{
 				Speedup:         30,
 				VirtualDuration: sim.Time(float64(*scale) * float64(600*sim.Second)),
 				Seed:            *seed,
 			})
-			fmt.Println(r.Table())
+			return result{r.Table(), nil}
 		},
 	}
 	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "pcap", "tbweb"}
@@ -131,14 +225,64 @@ func main() {
 			want[k] = true
 		}
 	}
+
+	rep := report{Scale: *scale, Seed: *seed, Parallel: experiments.Parallelism()}
+	total := time.Now()
 	for _, k := range order {
 		if !want[k] {
 			continue
 		}
-		fmt.Printf("=== %s (scale %.2f) ===\n", k, *scale)
+		er := expReport{Name: k}
+		if *baseline {
+			// Serial reference first so the parallel timing below is
+			// what the user-facing run costs.
+			experiments.SetParallelism(1)
+			st := time.Now()
+			runners[k]()
+			er.SerialWallSecs = time.Since(st).Seconds()
+			experiments.SetParallelism(*parallel)
+		}
 		start := time.Now()
-		runners[k]()
-		fmt.Printf("[%s took %.1fs]\n\n", k, time.Since(start).Seconds())
+		res := runners[k]()
+		er.WallSecs = time.Since(start).Seconds()
+		er.Metrics = res.metrics
+		if *baseline && er.WallSecs > 0 {
+			er.Speedup = er.SerialWallSecs / er.WallSecs
+		}
+		if *jsonOut {
+			er.Output = res.output
+		} else {
+			fmt.Printf("=== %s (scale %.2f) ===\n", k, *scale)
+			fmt.Println(res.output)
+		}
+		// Timing is nondeterministic, so it goes to stderr: stdout must
+		// stay byte-identical across -parallel values.
+		if *baseline {
+			fmt.Fprintf(os.Stderr, "[%s took %.1fs; serial %.1fs; speedup %.2fx]\n",
+				k, er.WallSecs, er.SerialWallSecs, er.Speedup)
+		} else {
+			fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n", k, er.WallSecs)
+		}
+		rep.Experiments = append(rep.Experiments, er)
+	}
+	rep.TotalWallSecs = time.Since(total).Seconds()
+	fmt.Fprintf(os.Stderr, "[total wall time %.1fs over %d experiments, parallel=%d]\n",
+		rep.TotalWallSecs, len(rep.Experiments), rep.Parallel)
+
+	if *jsonOut {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		enc = append(enc, '\n')
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "[wrote %s]\n", *outPath)
+		} else {
+			os.Stdout.Write(enc)
+		}
 	}
 }
 

@@ -34,12 +34,13 @@ func RunAblation(scale Scale, seed int64) AblationResult {
 	}
 	duration := scale.duration(800*sim.Second, 200*sim.Second)
 	const bw = 600 * link.Kbps
-	variants := []struct {
+	type variant struct {
 		name   string
 		mut    func(*core.Config)
 		qk     topology.QueueKind
 		twoWay bool
-	}{
+	}
+	variants := []variant{
 		{"taq-full", func(*core.Config) {}, topology.TAQ, false},
 		{"no-recovery-priority", func(c *core.Config) { c.NoRecoveryPriority = true }, topology.TAQ, false},
 		{"no-occupancy-drops", func(c *core.Config) { c.NoOccupancyDrops = true }, topology.TAQ, false},
@@ -49,8 +50,7 @@ func RunAblation(scale Scale, seed int64) AblationResult {
 		{"droptail", nil, topology.DropTail, false},
 	}
 
-	var res AblationResult
-	for _, v := range variants {
+	points := runSweep(variants, func(_ int, v variant) AblationPoint {
 		cfg := topology.Config{
 			Seed:              seed,
 			Bandwidth:         bw,
@@ -70,16 +70,16 @@ func RunAblation(scale Scale, seed int64) AblationResult {
 		slices := int(duration / net.Slicer.Width())
 		ev := net.Slicer.Evolution(2, slices)
 		_, rep := net.AggregateTimeouts()
-		res.Points = append(res.Points, AblationPoint{
+		return AblationPoint{
 			Variant:        v.name,
 			ShortJFI:       net.Slicer.MeanSliceJFI(2, slices),
 			MeanStalled:    ev.MeanStalled(),
 			MeanMaintained: ev.MeanMaintained(),
 			RepetitiveTOs:  rep,
 			LossRate:       net.LossRate(),
-		})
-	}
-	return res
+		}
+	})
+	return AblationResult{Points: points}
 }
 
 // Table renders the ablation.

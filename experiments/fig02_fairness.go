@@ -64,17 +64,35 @@ func RunFairness(cfg FairnessConfig, scale Scale) FairnessResult {
 		cfg.Seed = 1
 	}
 	duration := scale.duration(400*sim.Second, 80*sim.Second)
-	res := FairnessResult{Queue: cfg.Queue}
-	for _, bw := range cfg.Bandwidths {
+	return FairnessResult{
+		Queue:  cfg.Queue,
+		Points: fairnessSweep(cfg, cfg.Bandwidths, duration),
+	}
+}
+
+// fairnessJob is one (bandwidth, flow count) cell of the fairness grid.
+type fairnessJob struct {
+	bw link.Bps
+	n  int
+}
+
+// fairnessSweep enumerates the grid in bandwidth-major order (the order
+// the serial loops always produced) and evaluates the points through
+// the worker pool; each point builds its own seeded engine.
+func fairnessSweep(cfg FairnessConfig, bandwidths []link.Bps, duration sim.Time) []FairnessPoint {
+	var jobs []fairnessJob
+	for _, bw := range bandwidths {
 		for _, share := range cfg.FairShares {
 			n := int(float64(bw) / share)
 			if n < 2 {
 				continue
 			}
-			res.Points = append(res.Points, fairnessPoint(cfg, bw, n, duration))
+			jobs = append(jobs, fairnessJob{bw: bw, n: n})
 		}
 	}
-	return res
+	return runSweep(jobs, func(_ int, j fairnessJob) FairnessPoint {
+		return fairnessPoint(cfg, j.bw, j.n, duration)
+	})
 }
 
 func fairnessPoint(cfg FairnessConfig, bw link.Bps, n int, duration sim.Time) FairnessPoint {
@@ -108,18 +126,10 @@ func fairnessPoint(cfg FairnessConfig, bw link.Bps, n int, duration sim.Time) Fa
 func RunLongTermFairness(qk topology.QueueKind, scale Scale) FairnessResult {
 	cfg := defaultFairnessConfig(qk)
 	duration := scale.duration(10000*sim.Second, 200*sim.Second)
-	res := FairnessResult{Queue: qk}
-	for _, bw := range []link.Bps{200 * link.Kbps, 1000 * link.Kbps} {
-		for _, share := range cfg.FairShares {
-			n := int(float64(bw) / share)
-			if n < 2 {
-				continue
-			}
-			p := fairnessPoint(cfg, bw, n, duration)
-			res.Points = append(res.Points, p)
-		}
+	return FairnessResult{
+		Queue:  qk,
+		Points: fairnessSweep(cfg, []link.Bps{200 * link.Kbps, 1000 * link.Kbps}, duration),
 	}
-	return res
 }
 
 func (r FairnessResult) rows() (header []string, rows [][]string) {

@@ -44,32 +44,39 @@ func RunBufferTradeoff(scale Scale, seed int64) BufferResult {
 	}
 	duration := scale.duration(400*sim.Second, 80*sim.Second)
 	shareUnit := float64(mss) * 8 / rtt.Seconds() // bps per pkt/RTT
-	var res BufferResult
+	type job struct {
+		share   float64
+		bufRTTs float64
+	}
+	var jobs []job
 	for _, share := range []float64{0.25, 0.5, 1.0, 1.25} {
-		n := int(float64(bw) / (share * shareUnit))
 		for _, bufRTTs := range []float64{1, 2, 3, 4, 5} {
-			bufPkts := int(bufRTTs * pktsRTT)
-			net := topology.MustNew(topology.Config{
-				Seed:          seed,
-				Bandwidth:     bw,
-				PropRTT:       rtt,
-				Queue:         topology.DropTail,
-				BufferPackets: bufPkts,
-				RTTJitter:     0.25,
-			})
-			workload.AddBulkFlows(net, n, 50*sim.Millisecond)
-			net.Run(duration)
-			slices := int(duration / net.Slicer.Width())
-			res.Points = append(res.Points, BufferPoint{
-				FairSharePktsPerRTT: share,
-				BufferRTTs:          bufRTTs,
-				ShortJFI:            net.Slicer.MeanSliceJFI(1, slices),
-				QueueDelayMax:       bw.TxTime(mss * bufPkts),
-				MeasuredDelayP90:    net.QueueDelays.Percentile(90),
-			})
+			jobs = append(jobs, job{share: share, bufRTTs: bufRTTs})
 		}
 	}
-	return res
+	points := runSweep(jobs, func(_ int, j job) BufferPoint {
+		n := int(float64(bw) / (j.share * shareUnit))
+		bufPkts := int(j.bufRTTs * pktsRTT)
+		net := topology.MustNew(topology.Config{
+			Seed:          seed,
+			Bandwidth:     bw,
+			PropRTT:       rtt,
+			Queue:         topology.DropTail,
+			BufferPackets: bufPkts,
+			RTTJitter:     0.25,
+		})
+		workload.AddBulkFlows(net, n, 50*sim.Millisecond)
+		net.Run(duration)
+		slices := int(duration / net.Slicer.Width())
+		return BufferPoint{
+			FairSharePktsPerRTT: j.share,
+			BufferRTTs:          j.bufRTTs,
+			ShortJFI:            net.Slicer.MeanSliceJFI(1, slices),
+			QueueDelayMax:       bw.TxTime(mss * bufPkts),
+			MeasuredDelayP90:    net.QueueDelays.Percentile(90),
+		}
+	})
+	return BufferResult{Points: points}
 }
 
 // Table renders the sweep.

@@ -67,6 +67,15 @@ func RunFlowEvolution(qk topology.QueueKind, scale Scale, seed int64) EvolutionR
 	return res
 }
 
+// RunFlowEvolutionSweep runs Fig 9 for each queue kind through the
+// worker pool (one independent engine per discipline), preserving the
+// order of qks in the result.
+func RunFlowEvolutionSweep(qks []topology.QueueKind, scale Scale, seed int64) []EvolutionResult {
+	return runSweep(qks, func(_ int, qk topology.QueueKind) EvolutionResult {
+		return RunFlowEvolution(qk, scale, seed)
+	})
+}
+
 func meanOf(xs []int) float64 {
 	if len(xs) == 0 {
 		return 0

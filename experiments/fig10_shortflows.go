@@ -64,6 +64,14 @@ func RunShortFlows(qk topology.QueueKind, scale Scale, seed int64) ShortFlowResu
 	return res
 }
 
+// RunShortFlowsSweep runs Fig 10 for each queue kind through the
+// worker pool, preserving the order of qks in the result.
+func RunShortFlowsSweep(qks []topology.QueueKind, scale Scale, seed int64) []ShortFlowResult {
+	return runSweep(qks, func(_ int, qk topology.QueueKind) ShortFlowResult {
+		return RunShortFlows(qk, scale, seed)
+	})
+}
+
 // Table renders size vs download time.
 func (r ShortFlowResult) Table() string {
 	rows := make([][]string, 0, len(r.Points))

@@ -37,8 +37,7 @@ func RunHangTimes(qk topology.QueueKind, scale Scale, seed int64) HangResult {
 		seed = 1
 	}
 	duration := scale.duration(1000*sim.Second, 400*sim.Second)
-	res := HangResult{Queue: qk}
-	for _, users := range []int{200, 400} {
+	points := runSweep([]int{200, 400}, func(_ int, users int) HangPoint {
 		n := topology.MustNew(topology.Config{
 			Seed:      seed,
 			Bandwidth: 1000 * link.Kbps,
@@ -55,15 +54,15 @@ func RunHangTimes(qk topology.QueueKind, scale Scale, seed int64) HangResult {
 				maxHang = h
 			}
 		}
-		res.Points = append(res.Points, HangPoint{
+		return HangPoint{
 			Users:        users,
 			ConnsPerUser: 4,
 			FracOver20s:  n.Hangs.FractionExceeding(20 * sim.Second),
 			FracOver60s:  n.Hangs.FractionExceeding(60 * sim.Second),
 			MaxHang:      maxHang,
-		})
-	}
-	return res
+		}
+	})
+	return HangResult{Queue: qk, Points: points}
 }
 
 // Table renders the hang summary.

@@ -36,61 +36,69 @@ func RunInitialWindow(scale Scale, seed int64) IWResult {
 		seed = 1
 	}
 	warm := scale.duration(100*sim.Second, 40*sim.Second)
-	variants := []struct {
+	type variant struct {
 		label   string
 		variant tcp.Variant
 		iw      float64
-	}{
+	}
+	variants := []variant{
 		{"newreno-iw2", tcp.VariantNewReno, 2},
 		{"cubic-iw10", tcp.VariantCubic, 10},
 	}
-	var res IWResult
+	type job struct {
+		qk topology.QueueKind
+		v  variant
+	}
+	var jobs []job
 	for _, qk := range []topology.QueueKind{topology.DropTail, topology.TAQ} {
 		for _, v := range variants {
-			tcpCfg := tcp.DefaultConfig()
-			tcpCfg.Variant = v.variant
-			tcpCfg.InitialCwnd = v.iw
-			net := topology.MustNew(topology.Config{
-				Seed:      seed,
-				Bandwidth: 1000 * link.Kbps,
-				Queue:     qk,
-				RTTJitter: 0.25,
-				TCP:       tcpCfg,
-			})
-			workload.AddBulkFlows(net, 40, 50*sim.Millisecond)
-			var shorts []*workload.ShortFlowResult
-			for i := 0; i < 24; i++ {
-				at := warm + sim.Time(i)*4*sim.Second
-				shorts = append(shorts, workload.AddShortFlow(net, 20, at))
-			}
-			net.Run(warm + 24*4*sim.Second + 120*sim.Second)
-
-			pt := IWPoint{Label: v.label, Queue: qk}
-			var times []float64
-			timeouts := 0
-			for _, r := range shorts {
-				f := net.Flow(r.Flow)
-				if f.Sender.Stats.Timeouts > 0 {
-					timeouts++
-				}
-				if r.Done {
-					times = append(times, r.Duration().Seconds())
-				}
-			}
-			pt.TimeoutFrac = float64(timeouts) / float64(len(shorts))
-			pt.CompleteFrac = float64(len(times)) / float64(len(shorts))
-			if len(times) > 0 {
-				var c cdfOf
-				for _, v := range times {
-					c.add(v)
-				}
-				pt.MedianSecs = c.pct(50)
-				pt.P90Secs = c.pct(90)
-			}
-			res.Points = append(res.Points, pt)
+			jobs = append(jobs, job{qk: qk, v: v})
 		}
 	}
-	return res
+	points := runSweep(jobs, func(_ int, j job) IWPoint {
+		tcpCfg := tcp.DefaultConfig()
+		tcpCfg.Variant = j.v.variant
+		tcpCfg.InitialCwnd = j.v.iw
+		net := topology.MustNew(topology.Config{
+			Seed:      seed,
+			Bandwidth: 1000 * link.Kbps,
+			Queue:     j.qk,
+			RTTJitter: 0.25,
+			TCP:       tcpCfg,
+		})
+		workload.AddBulkFlows(net, 40, 50*sim.Millisecond)
+		var shorts []*workload.ShortFlowResult
+		for i := 0; i < 24; i++ {
+			at := warm + sim.Time(i)*4*sim.Second
+			shorts = append(shorts, workload.AddShortFlow(net, 20, at))
+		}
+		net.Run(warm + 24*4*sim.Second + 120*sim.Second)
+
+		pt := IWPoint{Label: j.v.label, Queue: j.qk}
+		var times []float64
+		timeouts := 0
+		for _, r := range shorts {
+			f := net.Flow(r.Flow)
+			if f.Sender.Stats.Timeouts > 0 {
+				timeouts++
+			}
+			if r.Done {
+				times = append(times, r.Duration().Seconds())
+			}
+		}
+		pt.TimeoutFrac = float64(timeouts) / float64(len(shorts))
+		pt.CompleteFrac = float64(len(times)) / float64(len(shorts))
+		if len(times) > 0 {
+			var c cdfOf
+			for _, v := range times {
+				c.add(v)
+			}
+			pt.MedianSecs = c.pct(50)
+			pt.P90Secs = c.pct(90)
+		}
+		return pt
+	})
+	return IWResult{Points: points}
 }
 
 // cdfOf is a tiny local percentile helper (avoids importing metrics

@@ -70,28 +70,36 @@ type RedSfqResult struct {
 // RED and SFQ at two contention levels in the sub-packet regime and
 // reports the short-term JFI of each.
 func RunRedSfqEquivalence(scale Scale, seed int64) RedSfqResult {
-	var res RedSfqResult
+	// Deep sub-packet regime only: with ≲0.25 pkt/RTT per flow, each
+	// flow holds at most one buffered packet, the granularity at which
+	// §2.4 says AQM choices stop mattering. The (queue, share) grid is
+	// flattened so all six runs share the worker pool.
+	type job struct {
+		qk    topology.QueueKind
+		share float64
+	}
+	var jobs []job
 	for _, qk := range []topology.QueueKind{topology.DropTail, topology.RED, topology.SFQ} {
-		sweep := RunFairness(FairnessConfig{
-			Queue: qk,
-			// Deep sub-packet regime only: with ≲0.25 pkt/RTT per
-			// flow, each flow holds at most one buffered packet, the
-			// granularity at which §2.4 says AQM choices stop
-			// mattering.
-			Bandwidths: []link.Bps{200 * link.Kbps},
-			FairShares: []float64{2500, 5000},
-			Seed:       seed,
-		}, scale)
-		for _, p := range sweep.Points {
-			res.Points = append(res.Points, RedSfqPoint{
-				Queue:        qk,
-				FairShareBps: p.FairShareBps,
-				ShortJFI:     p.ShortJFI,
-				Utilization:  p.Utilization,
-			})
+		for _, share := range []float64{2500, 5000} {
+			jobs = append(jobs, job{qk: qk, share: share})
 		}
 	}
-	return res
+	points := runSweep(jobs, func(_ int, j job) RedSfqPoint {
+		sweep := RunFairness(FairnessConfig{
+			Queue:      j.qk,
+			Bandwidths: []link.Bps{200 * link.Kbps},
+			FairShares: []float64{j.share},
+			Seed:       seed,
+		}, scale)
+		p := sweep.Points[0]
+		return RedSfqPoint{
+			Queue:        j.qk,
+			FairShareBps: p.FairShareBps,
+			ShortJFI:     p.ShortJFI,
+			Utilization:  p.Utilization,
+		}
+	})
+	return RedSfqResult{Points: points}
 }
 
 // Table renders the equivalence check.

@@ -42,41 +42,44 @@ func RunSubPacketTCP(scale Scale, seed int64) SubPacketResult {
 		bw    = 200 * link.Kbps
 		flows = 80
 	)
-	var res SubPacketResult
-	for _, qk := range []topology.QueueKind{topology.DropTail, topology.TAQ} {
-		for _, v := range []struct {
-			name    string
-			variant tcp.Variant
-		}{
-			{"newreno", tcp.VariantNewReno},
-			{"subpacket", tcp.VariantSubPacket},
-		} {
-			tcpCfg := tcp.DefaultConfig()
-			tcpCfg.Variant = v.variant
-			net := topology.MustNew(topology.Config{
-				Seed:      seed,
-				Bandwidth: bw,
-				Queue:     qk,
-				RTTJitter: 0.25,
-				TCP:       tcpCfg,
-			})
-			workload.AddBulkFlows(net, flows, 50*sim.Millisecond)
-			net.Run(duration)
-			slices := int(duration / net.Slicer.Width())
-			ev := net.Slicer.Evolution(1, slices)
-			_, rep := net.AggregateTimeouts()
-			res.Points = append(res.Points, SubPacketPoint{
-				Variant:       v.name,
-				Queue:         qk,
-				ShortJFI:      net.Slicer.MeanSliceJFI(1, slices),
-				LossRate:      net.LossRate(),
-				Utilization:   net.Utilization(),
-				RepetitiveTOs: rep,
-				MeanStalled:   ev.MeanStalled(),
-			})
-		}
+	type job struct {
+		qk      topology.QueueKind
+		name    string
+		variant tcp.Variant
 	}
-	return res
+	var jobs []job
+	for _, qk := range []topology.QueueKind{topology.DropTail, topology.TAQ} {
+		jobs = append(jobs,
+			job{qk, "newreno", tcp.VariantNewReno},
+			job{qk, "subpacket", tcp.VariantSubPacket},
+		)
+	}
+	points := runSweep(jobs, func(_ int, j job) SubPacketPoint {
+		tcpCfg := tcp.DefaultConfig()
+		tcpCfg.Variant = j.variant
+		net := topology.MustNew(topology.Config{
+			Seed:      seed,
+			Bandwidth: bw,
+			Queue:     j.qk,
+			RTTJitter: 0.25,
+			TCP:       tcpCfg,
+		})
+		workload.AddBulkFlows(net, flows, 50*sim.Millisecond)
+		net.Run(duration)
+		slices := int(duration / net.Slicer.Width())
+		ev := net.Slicer.Evolution(1, slices)
+		_, rep := net.AggregateTimeouts()
+		return SubPacketPoint{
+			Variant:       j.name,
+			Queue:         j.qk,
+			ShortJFI:      net.Slicer.MeanSliceJFI(1, slices),
+			LossRate:      net.LossRate(),
+			Utilization:   net.Utilization(),
+			RepetitiveTOs: rep,
+			MeanStalled:   ev.MeanStalled(),
+		}
+	})
+	return SubPacketResult{Points: points}
 }
 
 // Table renders the comparison.

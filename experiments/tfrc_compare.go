@@ -36,39 +36,46 @@ func RunTFRCComparison(scale Scale, seed int64) TFRCResult {
 	}
 	duration := scale.duration(400*sim.Second, 80*sim.Second)
 	const bw = 200 * link.Kbps
-	var res TFRCResult
+	type job struct {
+		transport string
+		n         int
+	}
+	var jobs []job
 	for _, share := range []float64{2500, 5000, 10000} {
 		n := int(float64(bw) / share)
 		if n < 2 {
 			continue
 		}
 		for _, transport := range []string{"tcp", "tfrc"} {
-			net := topology.MustNew(topology.Config{
-				Seed:      seed,
-				Bandwidth: bw,
-				Queue:     topology.DropTail,
-				RTTJitter: 0.25,
-			})
-			if transport == "tcp" {
-				workload.AddBulkFlows(net, n, 50*sim.Millisecond)
-			} else {
-				for i := 0; i < n; i++ {
-					net.AddTFRCFlow(-1, sim.Time(i)*50*sim.Millisecond)
-				}
-			}
-			net.Run(duration)
-			slices := int(duration / net.Slicer.Width())
-			res.Points = append(res.Points, TFRCPoint{
-				Transport:    transport,
-				FairShareBps: float64(bw) / float64(n),
-				Flows:        n,
-				ShortJFI:     net.Slicer.MeanSliceJFI(1, slices),
-				LossRate:     net.LossRate(),
-				Utilization:  net.Utilization(),
-			})
+			jobs = append(jobs, job{transport: transport, n: n})
 		}
 	}
-	return res
+	points := runSweep(jobs, func(_ int, j job) TFRCPoint {
+		net := topology.MustNew(topology.Config{
+			Seed:      seed,
+			Bandwidth: bw,
+			Queue:     topology.DropTail,
+			RTTJitter: 0.25,
+		})
+		if j.transport == "tcp" {
+			workload.AddBulkFlows(net, j.n, 50*sim.Millisecond)
+		} else {
+			for i := 0; i < j.n; i++ {
+				net.AddTFRCFlow(-1, sim.Time(i)*50*sim.Millisecond)
+			}
+		}
+		net.Run(duration)
+		slices := int(duration / net.Slicer.Width())
+		return TFRCPoint{
+			Transport:    j.transport,
+			FairShareBps: float64(bw) / float64(j.n),
+			Flows:        j.n,
+			ShortJFI:     net.Slicer.MeanSliceJFI(1, slices),
+			LossRate:     net.LossRate(),
+			Utilization:  net.Utilization(),
+		}
+	})
+	return TFRCResult{Points: points}
 }
 
 // Table renders the comparison.

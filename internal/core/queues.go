@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"taq/internal/packet"
 	"taq/internal/sim"
 )
@@ -61,45 +59,104 @@ type recoveryItem struct {
 	index   int
 }
 
-// recoveryQueue is a max-heap on silence length.
+// recoveryQueue is a concrete binary max-heap on silence length. Items
+// never escape the queue (push takes a packet, pops return the packet),
+// so fired items are recycled through a free list: steady-state
+// retransmission traffic allocates no recoveryItems at all, which is
+// the dominant allocation in the TAQ enqueue path.
 type recoveryQueue struct {
 	items []*recoveryItem
+	free  []*recoveryItem
 	bytes int
 	seq   uint64
 }
 
 func (q *recoveryQueue) Len() int { return len(q.items) }
-func (q *recoveryQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
+
+// before orders the heap: longest silence first, FIFO tiebreak.
+func (q *recoveryQueue) before(a, b *recoveryItem) bool {
 	if a.silence != b.silence {
 		return a.silence > b.silence
 	}
 	return a.seq < b.seq
 }
-func (q *recoveryQueue) Swap(i, j int) {
-	q.items[i], q.items[j] = q.items[j], q.items[i]
-	q.items[i].index = i
-	q.items[j].index = j
+
+func (q *recoveryQueue) siftUp(i int) {
+	it := q.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q.items[parent]
+		if !q.before(it, p) {
+			break
+		}
+		q.items[i] = p
+		p.index = i
+		i = parent
+	}
+	q.items[i] = it
+	it.index = i
 }
-func (q *recoveryQueue) Push(x any) {
-	it := x.(*recoveryItem)
-	it.index = len(q.items)
-	q.items = append(q.items, it)
-}
-func (q *recoveryQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	q.items = old[:n-1]
-	return it
+
+func (q *recoveryQueue) siftDown(i int) {
+	it := q.items[i]
+	n := len(q.items)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && q.before(q.items[c+1], q.items[c]) {
+			c++
+		}
+		if !q.before(q.items[c], it) {
+			break
+		}
+		q.items[i] = q.items[c]
+		q.items[i].index = i
+		i = c
+	}
+	q.items[i] = it
+	it.index = i
 }
 
 func (q *recoveryQueue) push(p *packet.Packet, silence sim.Time) {
-	heap.Push(q, &recoveryItem{pkt: p, silence: silence, seq: q.seq})
+	var it *recoveryItem
+	if n := len(q.free); n > 0 {
+		it = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		it = &recoveryItem{}
+	}
+	it.pkt, it.silence, it.seq = p, silence, q.seq
 	q.seq++
+	it.index = len(q.items)
+	q.items = append(q.items, it)
+	q.siftUp(it.index)
 	q.bytes += p.Size
+}
+
+// removeAt unlinks the item at heap index i and recycles it, returning
+// its packet.
+func (q *recoveryQueue) removeAt(i int) *packet.Packet {
+	it := q.items[i]
+	last := len(q.items) - 1
+	if i != last {
+		q.items[i] = q.items[last]
+		q.items[i].index = i
+	}
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if i < last {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+	p := it.pkt
+	q.bytes -= p.Size
+	it.pkt = nil
+	it.index = -1
+	q.free = append(q.free, it)
+	return p
 }
 
 // popBest removes the highest-priority (longest-silence) packet.
@@ -107,9 +164,7 @@ func (q *recoveryQueue) popBest() *packet.Packet {
 	if len(q.items) == 0 {
 		return nil
 	}
-	it := heap.Pop(q).(*recoveryItem)
-	q.bytes -= it.pkt.Size
-	return it.pkt
+	return q.removeAt(0)
 }
 
 // popWorst removes the lowest-priority (shortest-silence) packet — the
@@ -125,10 +180,7 @@ func (q *recoveryQueue) popWorst() *packet.Packet {
 			worst = i
 		}
 	}
-	it := q.items[worst]
-	heap.Remove(q, worst)
-	q.bytes -= it.pkt.Size
-	return it.pkt
+	return q.removeAt(worst)
 }
 
 // classFIFO is a FIFO that additionally tracks per-flow occupancy so

@@ -115,8 +115,8 @@ func (t *Testbed) deliver(p *packet.Packet) {
 	}
 	// Per-packet propagation timers are fire-once and sub-RTT;
 	// Engine.Stop gates every callback, so they cannot outlive teardown.
-	//taq:allow timerleak (fire-once sub-RTT timer; Engine.Stop gates callbacks)
-	t.Engine.Schedule(t.Cfg.PropRTT/4, func() { f.receiver.Deliver(p) })
+	// sim.After returns no handle, so there is nothing to leak.
+	sim.After(t.Engine, t.Cfg.PropRTT/4, func() { f.receiver.Deliver(p) })
 }
 
 // AddBulkFlow starts a long-running download through the middlebox
@@ -129,16 +129,14 @@ func (t *Testbed) AddBulkFlow() packet.FlowID {
 		rtt := t.Cfg.PropRTT
 		f := &tbFlow{id: id}
 		f.receiver = tcp.NewReceiver(t.Engine, t.Cfg.TCP, id, packet.PoolNone, func(p *packet.Packet) {
-			//taq:allow timerleak (fire-once sub-RTT timer; Engine.Stop gates callbacks)
-			t.Engine.Schedule(rtt/2, func() { f.sender.Deliver(p) })
+			sim.After(t.Engine, rtt/2, func() { f.sender.Deliver(p) })
 		})
 		mss := t.Cfg.TCP.MSS
 		f.receiver.OnDeliver = func(segs int) {
 			t.Slicer.Record(id, t.Engine.Now(), segs*mss)
 		}
 		f.sender = tcp.NewSender(t.Engine, t.Cfg.TCP, id, packet.PoolNone, tcp.BulkApp{}, func(p *packet.Packet) {
-			//taq:allow timerleak (fire-once sub-RTT timer; Engine.Stop gates callbacks)
-			t.Engine.Schedule(rtt/4, func() {
+			sim.After(t.Engine, rtt/4, func() {
 				t.QueueArrivals++
 				t.Link.Enqueue(p)
 			})
@@ -167,8 +165,7 @@ func (t *Testbed) AddSizedFlow(pool packet.PoolID, segs int, onComplete, onFail 
 		rtt := t.Cfg.PropRTT
 		f := &tbFlow{id: id}
 		f.receiver = tcp.NewReceiver(t.Engine, t.Cfg.TCP, id, pool, func(p *packet.Packet) {
-			//taq:allow timerleak (fire-once sub-RTT timer; Engine.Stop gates callbacks)
-			t.Engine.Schedule(rtt/2, func() { f.sender.Deliver(p) })
+			sim.After(t.Engine, rtt/2, func() { f.sender.Deliver(p) })
 		})
 		mss := t.Cfg.TCP.MSS
 		f.receiver.OnDeliver = func(n int) {
@@ -176,8 +173,7 @@ func (t *Testbed) AddSizedFlow(pool packet.PoolID, segs int, onComplete, onFail 
 		}
 		app := &tcp.SizedApp{Total: segs}
 		f.sender = tcp.NewSender(t.Engine, t.Cfg.TCP, id, pool, app, func(p *packet.Packet) {
-			//taq:allow timerleak (fire-once sub-RTT timer; Engine.Stop gates callbacks)
-			t.Engine.Schedule(rtt/4, func() {
+			sim.After(t.Engine, rtt/4, func() {
 				t.QueueArrivals++
 				t.Link.Enqueue(p)
 			})

@@ -76,13 +76,16 @@ func (l *Link) pump() {
 	l.busy = true
 	tx := l.rate.TxTime(p.Size)
 	l.BusyTime += tx
-	l.run.Schedule(tx, func() {
+	// Fire-and-forget per-packet events go through sim.After so the
+	// engine can recycle the timer allocation: this pair is the hottest
+	// scheduling site in every experiment.
+	sim.After(l.run, tx, func() {
 		l.busy = false
 		l.SentPackets++
 		l.SentBytes += uint64(p.Size)
 		l.lastTxFinish = l.run.Now()
 		d := p
-		l.run.Schedule(l.delay, func() { l.deliver(d) })
+		sim.After(l.run, l.delay, func() { l.deliver(d) })
 		l.pump()
 	})
 }
@@ -112,5 +115,5 @@ func NewPipe(run sim.Runner, delay sim.Time, deliver func(*packet.Packet)) *Pipe
 // Send delivers p after the pipe's delay.
 func (p *Pipe) Send(pkt *packet.Packet) {
 	d := pkt
-	p.run.Schedule(p.delay, func() { p.deliver(d) })
+	sim.After(p.run, p.delay, func() { p.deliver(d) })
 }

@@ -78,7 +78,7 @@ func (c *Census) ScheduleRolls(run sim.Runner, epoch sim.Time) {
 	var tick func()
 	tick = func() {
 		c.Roll()
-		run.Schedule(epoch, tick)
+		sim.After(run, epoch, tick)
 	}
-	run.Schedule(epoch, tick)
+	sim.After(run, epoch, tick)
 }

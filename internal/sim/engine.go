@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
@@ -23,25 +22,80 @@ type Runner interface {
 	Rand() *rand.Rand
 }
 
+// afterRunner is the optional Runner extension behind After: engines
+// that implement it can schedule fire-and-forget callbacks without
+// allocating a Timer per event.
+type afterRunner interface {
+	After(delay Time, fn func())
+}
+
+// rescheduleRunner is the optional Runner extension behind Reschedule:
+// engines that implement it can re-arm a caller-owned Timer in place
+// instead of allocating a new one.
+type rescheduleRunner interface {
+	Reschedule(t *Timer, delay Time, fn func()) *Timer
+}
+
+// After schedules fn to run delay from now without returning a handle.
+// Use it for fire-and-forget events (packet deliveries, self-armed
+// ticks) that are never canceled: runners that support it recycle the
+// underlying timer allocation, which is the per-event hot path of every
+// experiment sweep. Falls back to Schedule on runners that don't.
+func After(r Runner, delay Time, fn func()) {
+	if a, ok := r.(afterRunner); ok {
+		a.After(delay, fn)
+		return
+	}
+	r.Schedule(delay, fn)
+}
+
+// Reschedule cancels t (if still pending) and arms fn to run delay from
+// now, reusing t's allocation when the runner supports it — the
+// cancel-then-rearm idiom of RTO and pacing timers without the per-arm
+// allocation. t may be nil. The caller must hold the only reference to
+// t and must replace it with the returned handle.
+func Reschedule(r Runner, t *Timer, delay Time, fn func()) *Timer {
+	if rr, ok := r.(rescheduleRunner); ok {
+		return rr.Reschedule(t, delay, fn)
+	}
+	t.Cancel()
+	return r.Schedule(delay, fn)
+}
+
 // Timer is a handle to a scheduled callback.
 type Timer struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 when popped
+	at  Time
+	seq uint64
+	fn  func()
+	// index is the position in the owning engine's event heap, -1 when
+	// not queued (fired, canceled, or external).
+	index    int
 	canceled bool
+	// noHandle marks engine-internal fire-and-forget timers (After):
+	// no *Timer for them ever escapes, so the engine may recycle the
+	// struct through its free list when the event fires.
+	noHandle bool
+	// eng is the owning Engine, nil for external timers.
+	eng *Engine
 	// stop is set by the real-time engine to a function that stops the
 	// underlying wall-clock timer.
 	stop func()
 }
 
-// Cancel prevents the timer's callback from running. Canceling an
+// Cancel prevents the timer's callback from running. The callback
+// closure is released immediately (so canceled timers don't pin memory)
+// and the event is unlinked from its engine's heap. Canceling an
 // already-fired or already-canceled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t == nil {
+	if t == nil || t.canceled {
 		return
 	}
 	t.canceled = true
+	t.fn = nil
+	if t.eng != nil && t.index >= 0 {
+		t.eng.events.remove(t.index)
+		t.index = -1
+	}
 	if t.stop != nil {
 		t.stop()
 	}
@@ -62,43 +116,129 @@ func (t *Timer) SetStop(fn func()) { t.stop = fn }
 // When returns the virtual time the timer is (or was) due to fire.
 func (t *Timer) When() Time { return t.at }
 
-type eventHeap []*Timer
+// timerHeap is a concrete 4-ary min-heap over *Timer ordered by
+// (at, seq). Replacing container/heap removes the interface-method
+// dispatch from the event loop every experiment spins; the 4-ary shape
+// halves the sift-down depth for the deep heaps that large flow counts
+// produce. seq breaks ties FIFO for determinism.
+type timerHeap struct {
+	items []*Timer
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *timerHeap) len() int { return len(h.items) }
+
+// less orders the heap by time, then FIFO among same-time events.
+func (h *timerHeap) less(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq // FIFO among same-time events: determinism
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push inserts t and records its index.
+func (h *timerHeap) push(t *Timer) {
+	t.index = len(h.items)
+	h.items = append(h.items, t)
+	h.siftUp(t.index)
 }
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
+
+// pop removes and returns the earliest timer.
+func (h *timerHeap) pop() *Timer {
+	t := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[0].index = 0
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
 	t.index = -1
-	*h = old[:n-1]
 	return t
+}
+
+// remove deletes the timer at index i.
+func (h *timerHeap) remove(i int) {
+	last := len(h.items) - 1
+	if i != last {
+		h.items[i] = h.items[last]
+		h.items[i].index = i
+	}
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.fix(i)
+	}
+}
+
+// fix restores heap order after the key at index i changed.
+func (h *timerHeap) fix(i int) {
+	h.siftDown(i)
+	h.siftUp(i)
+}
+
+func (h *timerHeap) siftUp(i int) {
+	t := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h.items[parent]
+		if !h.less(t, p) {
+			break
+		}
+		h.items[i] = p
+		p.index = i
+		i = parent
+	}
+	h.items[i] = t
+	t.index = i
+}
+
+func (h *timerHeap) siftDown(i int) {
+	t := h.items[i]
+	n := len(h.items)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h.less(h.items[c], h.items[best]) {
+				best = c
+			}
+		}
+		if !h.less(h.items[best], t) {
+			break
+		}
+		h.items[i] = h.items[best]
+		h.items[i].index = i
+		i = best
+	}
+	h.items[i] = t
+	t.index = i
 }
 
 // Engine is a deterministic discrete-event scheduler. It is not safe for
 // concurrent use; all simulation work happens on the goroutine that
-// calls Run/RunUntil/Step.
+// calls Run/RunUntil/Step. Concurrency in this codebase lives strictly
+// above the engine: parallel sweeps (experiments.RunPoints) give every
+// worker its own Engine and never share one across goroutines.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	events timerHeap
+	// free recycles Timer structs. Only timers the engine exclusively
+	// owns ever enter it: fire-and-forget (After) timers on firing, and
+	// structs handed back through Reschedule are reused directly. Timers
+	// returned by Schedule may still be referenced by callers after they
+	// fire, so they are never recycled — handing their struct to an
+	// unrelated event would let a stale Cancel kill it.
+	free []*Timer
+	rng  *rand.Rand
 	// Processed counts callbacks executed, for instrumentation.
 	Processed uint64
 }
@@ -126,32 +266,108 @@ func (e *Engine) Schedule(delay Time, fn func()) *Timer {
 // ScheduleAt arranges for fn to run at absolute virtual time at. Times
 // in the past are clamped to now.
 func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
-	if at < e.now {
-		at = e.now
-	}
-	t := &Timer{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, t)
+	t := e.alloc(at, fn)
+	e.events.push(t)
 	return t
 }
 
-// Pending returns the number of scheduled (possibly canceled) events.
-func (e *Engine) Pending() int { return len(e.events) }
+// After schedules fn to run delay from now, fire-and-forget: no handle
+// is returned, and the timer's allocation is recycled when it fires.
+// This is the allocation-free path for the per-packet events that
+// dominate simulation runs. Prefer the package-level sim.After when
+// holding a Runner interface.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	t := e.alloc(e.now+delay, fn)
+	t.noHandle = true
+	e.events.push(t)
+}
+
+// Reschedule cancels t (if pending) and arms fn at delay from now,
+// reusing t's allocation. t must have been created by this engine (or
+// be nil) and the caller must hold its only reference; the returned
+// handle replaces it. This is the allocation-free path for the
+// cancel-then-rearm churn of RTO, pacing and scan timers.
+func (e *Engine) Reschedule(t *Timer, delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	if t == nil || t.eng != e {
+		// External or foreign timers can't be reused in place.
+		t.Cancel()
+		return e.ScheduleAt(e.now+delay, fn)
+	}
+	t.at = e.now + delay
+	t.seq = e.seq
+	e.seq++
+	t.fn = fn
+	t.canceled = false
+	t.noHandle = false
+	if t.index >= 0 {
+		e.events.fix(t.index)
+	} else {
+		e.events.push(t)
+	}
+	return t
+}
+
+// alloc takes a Timer from the free list or the heap allocator.
+func (e *Engine) alloc(at Time, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	var t *Timer
+	if n := len(e.free); n > 0 {
+		t = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		t.canceled = false
+		t.noHandle = false
+	} else {
+		t = &Timer{eng: e}
+	}
+	t.at = at
+	t.seq = e.seq
+	t.fn = fn
+	e.seq++
+	return t
+}
+
+// recycle returns an engine-exclusive timer struct to the free list.
+func (e *Engine) recycle(t *Timer) {
+	t.fn = nil
+	e.free = append(e.free, t)
+}
+
+// Pending returns the number of live scheduled events. Canceled events
+// are unlinked eagerly by Cancel, so they are never counted.
+func (e *Engine) Pending() int { return e.events.len() }
+
+// Live is an alias for Pending, named for callers that want to be
+// explicit about canceled events being excluded.
+func (e *Engine) Live() int { return e.Pending() }
 
 // Step executes the next event, if any, advancing the clock to its
 // time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		t := heap.Pop(&e.events).(*Timer)
-		if t.canceled {
-			continue
-		}
-		e.now = t.at
-		e.Processed++
-		t.fn()
-		return true
+	if e.events.len() == 0 {
+		return false
 	}
-	return false
+	t := e.events.pop()
+	fn := t.fn
+	t.fn = nil
+	e.now = t.at
+	if t.noHandle {
+		// No handle escaped, so the struct is exclusively ours again;
+		// recycling before the callback lets fn's own scheduling reuse
+		// it immediately.
+		e.recycle(t)
+	}
+	e.Processed++
+	fn()
+	return true
 }
 
 // Run executes events until none remain.
@@ -163,20 +379,12 @@ func (e *Engine) Run() {
 // RunUntil executes events with time ≤ end, then sets the clock to end.
 // Events scheduled after end remain pending.
 func (e *Engine) RunUntil(end Time) {
-	for len(e.events) > 0 {
+	for e.events.len() > 0 {
 		// Peek; heap root is the earliest event.
-		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > end {
+		if e.events.items[0].at > end {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		e.Processed++
-		next.fn()
+		e.Step()
 	}
 	if e.now < end {
 		e.now = end

@@ -225,6 +225,183 @@ func TestProcessedCount(t *testing.T) {
 	}
 }
 
+func TestEnginePendingExcludesCanceled(t *testing.T) {
+	e := NewEngine(1)
+	timers := make([]*Timer, 6)
+	for i := range timers {
+		timers[i] = e.Schedule(Time(i+1)*Second, func() {})
+	}
+	timers[1].Cancel()
+	timers[4].Cancel()
+	if got := e.Pending(); got != 4 {
+		t.Errorf("Pending() = %d after 2 of 6 canceled, want 4", got)
+	}
+	if got := e.Live(); got != 4 {
+		t.Errorf("Live() = %d, want 4", got)
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", e.Pending())
+	}
+}
+
+func TestCancelDropsCallbackReference(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Schedule(Second, func() {})
+	tm.Cancel()
+	// The closure must be released at Cancel time, not when the event
+	// would have fired — canceled RTO timers must not pin senders.
+	if tm.fn != nil {
+		t.Error("Cancel left fn set")
+	}
+	if tm.index != -1 {
+		t.Errorf("Cancel left timer linked at heap index %d", tm.index)
+	}
+}
+
+func TestAfterRecyclesTimers(t *testing.T) {
+	e := NewEngine(1)
+	const n = 100
+	fired := 0
+	for i := 0; i < n; i++ {
+		e.After(Time(i)*Millisecond, func() { fired++ })
+	}
+	e.Run()
+	if fired != n {
+		t.Fatalf("fired = %d, want %d", fired, n)
+	}
+	if len(e.free) == 0 {
+		t.Fatal("After timers were not recycled to the free list")
+	}
+	// A second wave must reuse structs rather than allocate new ones.
+	before := len(e.free)
+	e.After(Millisecond, func() { fired++ })
+	if len(e.free) != before-1 {
+		t.Errorf("After did not take from free list: %d -> %d", before, len(e.free))
+	}
+	e.Run()
+	if len(e.free) != before {
+		t.Errorf("fired After timer not returned to free list: %d, want %d", len(e.free), before)
+	}
+}
+
+func TestRescheduleReusesPendingTimer(t *testing.T) {
+	e := NewEngine(1)
+	hits := []Time{}
+	t1 := e.Schedule(5*Second, func() { hits = append(hits, e.Now()) })
+	t2 := e.Reschedule(t1, 2*Second, func() { hits = append(hits, e.Now()) })
+	if t2 != t1 {
+		t.Error("Reschedule of a pending timer allocated a new struct")
+	}
+	e.Run()
+	if len(hits) != 1 || hits[0] != 2*Second {
+		t.Fatalf("hits = %v, want [2s]", hits)
+	}
+}
+
+func TestRescheduleAfterFireAndAfterCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := e.Schedule(Second, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Re-arm a fired timer: struct reused, fires again.
+	tm2 := e.Reschedule(tm, Second, func() { fired++ })
+	if tm2 != tm {
+		t.Error("Reschedule of a fired timer allocated a new struct")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after re-arm, want 2", fired)
+	}
+	// Cancel-then-reschedule: the canceled struct is revived.
+	tm2.Cancel()
+	tm3 := e.Reschedule(tm2, Second, func() { fired++ })
+	if tm3 != tm2 {
+		t.Error("Reschedule of a canceled timer allocated a new struct")
+	}
+	if tm3.Canceled() {
+		t.Error("rescheduled timer still reports Canceled")
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d after cancel+reschedule, want 3", fired)
+	}
+}
+
+func TestRescheduleNilTimer(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Reschedule(nil, Second, func() { fired = true })
+	if tm == nil {
+		t.Fatal("Reschedule(nil) returned nil")
+	}
+	e.Run()
+	if !fired {
+		t.Error("Reschedule(nil) timer did not fire")
+	}
+}
+
+// stubRunner implements only the base Runner interface, standing in for
+// engines (like emu's) without the After/Reschedule fast paths.
+type stubRunner struct {
+	e *Engine
+}
+
+func (s stubRunner) Now() Time                         { return s.e.Now() }
+func (s stubRunner) Schedule(d Time, fn func()) *Timer { return s.e.Schedule(d, fn) }
+func (s stubRunner) Rand() *rand.Rand                  { return s.e.Rand() }
+
+func TestPackageHelpersFallBackToSchedule(t *testing.T) {
+	e := NewEngine(1)
+	r := stubRunner{e}
+	fired := 0
+	After(r, Second, func() { fired++ })
+	tm := Reschedule(r, nil, 2*Second, func() { fired++ })
+	tm = Reschedule(r, tm, 3*Second, func() { fired++ })
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (After + final Reschedule)", fired)
+	}
+}
+
+func TestPackageHelpersUseEngineFastPath(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	After(e, Second, func() { fired++ })
+	e.Run()
+	if fired != 1 || len(e.free) != 1 {
+		t.Errorf("After via Runner: fired=%d free=%d, want 1/1", fired, len(e.free))
+	}
+	tm := Reschedule(e, nil, Second, func() { fired++ })
+	tm2 := Reschedule(e, tm, 2*Second, func() { fired++ })
+	if tm2 != tm {
+		t.Error("Reschedule via Runner did not reuse the struct")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+// BenchmarkEngineSchedule measures the fire-and-forget hot path every
+// packet event takes (link tx, propagation, delivery): After + drain.
+// With the free list this runs allocation-free.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000)*Microsecond, func() {})
+		if i%64 == 0 {
+			for e.Step() {
+			}
+		}
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := NewEngine(1)
 	b.ReportAllocs()
@@ -239,14 +416,14 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 }
 
 func BenchmarkEngineTimerChurn(b *testing.B) {
-	// The RTO pattern: arm, cancel, re-arm.
+	// The RTO pattern: arm, cancel, re-arm — via Reschedule, which
+	// reuses the one timer struct for the whole run.
 	e := NewEngine(1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var tm *Timer
 	for i := 0; i < b.N; i++ {
-		tm.Cancel()
-		tm = e.Schedule(Second, func() {})
+		tm = e.Reschedule(tm, Second, func() {})
 		if i%1024 == 0 {
 			e.RunUntil(e.Now() + Millisecond)
 		}

@@ -87,7 +87,9 @@ func (r *Receiver) onData(p *packet.Packet) {
 		if timeout <= 0 {
 			timeout = 100 * sim.Millisecond
 		}
-		r.delTimer = r.run.Schedule(timeout, func() {
+		// The previous handle is always fired or canceled here, so
+		// Reschedule reuses its allocation.
+		r.delTimer = sim.Reschedule(r.run, r.delTimer, timeout, func() {
 			if r.delPending {
 				r.delPending = false
 				r.sendAck()

@@ -166,8 +166,7 @@ func (s *Sender) sendSyn(rexmit bool) {
 			break
 		}
 	}
-	s.synTimer.Cancel()
-	s.synTimer = s.run.Schedule(timeout, s.onSynTimeout)
+	s.synTimer = sim.Reschedule(s.run, s.synTimer, timeout, s.onSynTimeout)
 }
 
 func (s *Sender) onSynTimeout() {
@@ -275,7 +274,7 @@ func (s *Sender) trySend() {
 			now := s.run.Now()
 			if now < s.nextPaced {
 				if s.paceTimer == nil || s.paceTimer.Canceled() {
-					s.paceTimer = s.run.Schedule(s.nextPaced-now, func() {
+					s.paceTimer = sim.Reschedule(s.run, s.paceTimer, s.nextPaced-now, func() {
 						s.paceTimer = nil
 						s.trySend()
 					})
@@ -322,8 +321,9 @@ func (s *Sender) effectiveRTO() sim.Time {
 }
 
 func (s *Sender) armRTO() {
-	s.rtoTimer.Cancel()
-	s.rtoTimer = s.run.Schedule(s.effectiveRTO(), s.onRTO)
+	// Reschedule reuses the timer allocation across the cancel-then-rearm
+	// churn every ack causes; s.rtoTimer is the only handle.
+	s.rtoTimer = sim.Reschedule(s.run, s.rtoTimer, s.effectiveRTO(), s.onRTO)
 }
 
 func (s *Sender) onAck(p *packet.Packet) {

@@ -153,16 +153,15 @@ func (s *Sender) sendNext() {
 	if gap < sim.Microsecond {
 		gap = sim.Microsecond
 	}
-	s.paceTimer = s.run.Schedule(gap, s.sendNext)
+	s.paceTimer = sim.Reschedule(s.run, s.paceTimer, gap, s.sendNext)
 }
 
 func (s *Sender) armNoFeedback() {
-	s.nfTimer.Cancel()
 	s.nfInterval = 4 * s.rtt
 	if !s.haveRTT {
 		s.nfInterval = 2 * sim.Second
 	}
-	s.nfTimer = s.run.Schedule(s.nfInterval, s.onNoFeedback)
+	s.nfTimer = sim.Reschedule(s.run, s.nfTimer, s.nfInterval, s.onNoFeedback)
 }
 
 func (s *Sender) onNoFeedback() {
@@ -337,7 +336,7 @@ func (r *Receiver) Deliver(p *packet.Packet) {
 	if !r.firstPacket {
 		r.firstPacket = true
 		r.winStart = now
-		r.fbTimer = r.run.Schedule(r.rtt, r.sendFeedback)
+		r.fbTimer = sim.Reschedule(r.run, r.fbTimer, r.rtt, r.sendFeedback)
 	}
 	if p.Seq > r.maxSeq+1 {
 		// Sequence gap: lost packets. Gaps within one RTT of the last
@@ -382,8 +381,9 @@ func (r *Receiver) sendFeedback() {
 	r.FeedbackSent++
 	r.winStart = now
 	r.winBytes = 0
-	// Periodic reports once per RTT while data flows.
-	r.fbTimer = r.run.Schedule(r.rtt, r.sendFeedback)
+	// Periodic reports once per RTT while data flows; the timer just
+	// fired, so Reschedule re-arms it in place.
+	r.fbTimer = sim.Reschedule(r.run, r.fbTimer, r.rtt, r.sendFeedback)
 }
 
 // Stop cancels the receiver's feedback timer.

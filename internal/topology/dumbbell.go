@@ -281,7 +281,7 @@ func (n *Network) deliverForward(p *packet.Packet) {
 	if n.delaySample%16 == 0 {
 		n.QueueDelays.Add((n.Engine.Now() - p.Enqueued).Seconds())
 	}
-	n.Engine.Schedule(f.RTT/4, func() { f.deliver(p) })
+	sim.After(n.Engine, f.RTT/4, func() { f.deliver(p) })
 }
 
 // AddFlow creates a TCP flow with the given app, starting its
@@ -302,13 +302,13 @@ func (n *Network) AddFlow(pool packet.PoolID, app tcp.App, startAt sim.Time) *Fl
 	// midpoint.
 	f.Receiver = tcp.NewReceiver(n.Engine, n.Cfg.TCP, id, pool, func(p *packet.Packet) {
 		if n.Cfg.TwoWayObservation && n.Middlebox != nil {
-			n.Engine.Schedule(rtt/4, func() {
+			sim.After(n.Engine, rtt/4, func() {
 				n.Middlebox.ObserveReverse(p)
-				n.Engine.Schedule(rtt/4, func() { f.Sender.Deliver(p) })
+				sim.After(n.Engine, rtt/4, func() { f.Sender.Deliver(p) })
 			})
 			return
 		}
-		n.Engine.Schedule(rtt/2, func() { f.Sender.Deliver(p) })
+		sim.After(n.Engine, rtt/2, func() { f.Sender.Deliver(p) })
 	})
 	mss := n.Cfg.TCP.MSS
 	f.Receiver.OnDeliver = func(segs int) {
@@ -321,7 +321,7 @@ func (n *Network) AddFlow(pool packet.PoolID, app tcp.App, startAt sim.Time) *Fl
 
 	// Forward path: sender → (access delay rtt/4 + jitter) → queue.
 	f.Sender = tcp.NewSender(n.Engine, n.Cfg.TCP, id, pool, app, func(p *packet.Packet) {
-		n.Engine.Schedule(n.accessDelay(f, rtt/4), func() {
+		sim.After(n.Engine, n.accessDelay(f, rtt/4), func() {
 			n.QueueArrivals++
 			n.Link.Enqueue(p)
 		})
@@ -356,7 +356,7 @@ func (n *Network) AddTFRCFlow(pool packet.PoolID, startAt sim.Time) *Flow {
 	cfg.MSS = n.Cfg.TCP.MSS
 	cfg.InitialRTT = rtt
 	f.TFRCReceiver = tfrc.NewReceiver(n.Engine, cfg, id, pool, func(p *packet.Packet) {
-		n.Engine.Schedule(rtt/2, func() { f.TFRCSender.Deliver(p) })
+		sim.After(n.Engine, rtt/2, func() { f.TFRCSender.Deliver(p) })
 	})
 	mss := cfg.MSS
 	f.TFRCReceiver.OnDeliver = func(pkts int) {
@@ -367,7 +367,7 @@ func (n *Network) AddTFRCFlow(pool packet.PoolID, startAt sim.Time) *Flow {
 		}
 	}
 	f.TFRCSender = tfrc.NewSender(n.Engine, cfg, id, pool, func(p *packet.Packet) {
-		n.Engine.Schedule(n.accessDelay(f, rtt/4), func() {
+		sim.After(n.Engine, n.accessDelay(f, rtt/4), func() {
 			n.QueueArrivals++
 			n.Link.Enqueue(p)
 		})
