@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHSCALE ?= 0.05
 
-.PHONY: build vet taqvet test race fuzz bench check
+.PHONY: build vet taqvet taqvet-sarif test race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 # (docs/static-analysis.md). It exits non-zero on any finding.
 taqvet:
 	$(GO) run ./cmd/taqvet ./...
+
+# taqvet-sarif is the CI form: SARIF 2.1.0 to taqvet.sarif for code
+# scanning upload, with -audit so stale //taq:allow directives fail too.
+taqvet-sarif:
+	$(GO) run ./cmd/taqvet -audit -format sarif -out taqvet.sarif ./...
 
 test:
 	$(GO) test ./...
@@ -35,4 +40,4 @@ bench:
 	$(GO) test -run='^$$' -bench 'Engine|Discipline' -benchmem ./internal/sim .
 	$(GO) run ./cmd/taqbench -json -scale $(BENCHSCALE) -out BENCH_results.json
 
-check: build vet taqvet test race
+check: build vet taqvet-sarif test race

@@ -2,14 +2,22 @@
 // analyzers over the module (see docs/static-analysis.md):
 //
 //	go run ./cmd/taqvet ./...
+//	go run ./cmd/taqvet -format sarif -out taqvet.sarif ./...
+//	go run ./cmd/taqvet -audit ./...
 //
-// It prints "file:line:col: message [analyzer]" per finding and exits
-// non-zero when any finding survives //taq:allow suppressions.
+// The default format prints "file:line:col: message [analyzer]" per
+// finding; -format json/sarif/github emit machine-readable output.
+// -audit additionally reports stale //taq:allow directives.
+//
+// Exit status: 0 clean, 1 findings, 2 on usage errors or when any
+// package fails to load or type-check (the failing package is named).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,23 +26,44 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: taqvet [-list] [-only a,b] [packages]\n\n")
-		fmt.Fprintf(os.Stderr, "Runs TAQ's determinism & concurrency analyzers (default ./...).\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("taqvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	format := fs.String("format", "text", "output format: text, json, sarif, or github")
+	out := fs.String("out", "", "write output to this file instead of stdout")
+	audit := fs.Bool("audit", false, "also report stale //taq:allow directives (requires the full suite)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: taqvet [-list] [-only a,b] [-format text|json|sarif|github] [-out file] [-audit] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs TAQ's determinism & concurrency analyzers (default ./...).\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := analysis.DefaultConfig()
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	switch *format {
+	case "text", "json", "sarif", "github":
+	default:
+		fmt.Fprintf(stderr, "taqvet: unknown format %q (want text, json, sarif, or github)\n", *format)
+		return 2
 	}
 	if *only != "" {
+		if *audit {
+			fmt.Fprintf(stderr, "taqvet: -audit needs the full suite; drop -only\n")
+			return 2
+		}
 		var sel []*analysis.Analyzer
 		for _, name := range strings.Split(*only, ",") {
 			found := false
@@ -45,35 +74,82 @@ func main() {
 				}
 			}
 			if !found {
-				fmt.Fprintf(os.Stderr, "taqvet: unknown analyzer %q (try -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "taqvet: unknown analyzer %q (try -list)\n", name)
+				return 2
 			}
 		}
 		cfg.Analyzers = sel
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "taqvet: %v\n", err)
-		os.Exit(2)
+		// Load and type-check failures are always exit 2 — never 1,
+		// which is reserved for findings — and name the package.
+		var le *analysis.LoadError
+		if errors.As(err, &le) && le.Pkg != "" {
+			fmt.Fprintf(stderr, "taqvet: load: %v\n", le)
+		} else {
+			fmt.Fprintf(stderr, "taqvet: load: %v\n", err)
+		}
+		return 2
 	}
 
-	diags := analysis.Run(pkgs, cfg)
+	diags, stale := analysis.RunAudit(pkgs, cfg)
+	if *audit {
+		diags = append(diags, stale...)
+	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
-			}
+	for i := range diags {
+		diags[i].Pos.Filename = relativize(cwd, diags[i].Pos.Filename)
+	}
+
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "taqvet: %v\n", err)
+			return 2
 		}
-		fmt.Println(d)
+		defer f.Close()
+		dst = f
+	}
+	var werr error
+	switch *format {
+	case "json":
+		werr = analysis.WriteJSON(dst, diags)
+	case "sarif":
+		werr = analysis.WriteSARIF(dst, diags)
+	case "github":
+		werr = analysis.WriteGitHub(dst, diags)
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(dst, d)
+		}
+	}
+	if werr != nil {
+		fmt.Fprintf(stderr, "taqvet: writing output: %v\n", werr)
+		return 2
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "taqvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "taqvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+// relativize rewrites an absolute filename under cwd to a relative
+// one, which both humans and SARIF consumers want.
+func relativize(cwd, filename string) string {
+	if cwd == "" {
+		return filename
+	}
+	rel, err := filepath.Rel(cwd, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return rel
 }

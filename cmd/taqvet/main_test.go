@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the driver contract: 0 clean, 1 findings, 2 for
+// usage errors and load/type-check failures — never 1 for a broken
+// package, so CI can tell "code has findings" from "tool could not run".
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		want   int
+		stderr string // required substring of stderr, "" for none
+	}{
+		{"clean package", []string{"../../internal/sim"}, 0, ""},
+		{"findings", []string{"../../internal/analysis/testdata/src/simtime"}, 1, "finding(s)"},
+		{"broken package exits 2 and names it", []string{"../../internal/analysis/testdata/src/broken"}, 2, "testdata/src/broken"},
+		{"unknown format", []string{"-format", "xml", "./..."}, 2, "unknown format"},
+		{"unknown analyzer", []string{"-only", "nosuch", "./..."}, 2, "unknown analyzer"},
+		{"audit with only", []string{"-audit", "-only", "wallclock", "./..."}, 2, "-audit needs the full suite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// TestSARIFShape validates the 2.1.0 envelope of -format sarif: schema,
+// version, one run with driver name and rules, and results whose
+// locations carry file/line.
+func TestSARIFShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "sarif", "../../internal/analysis/testdata/src/simtime"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixture has findings); stderr: %s", code, stderr.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version = %q, $schema = %q; want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "taqvet" {
+		t.Errorf("driver name = %q, want taqvet", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) == 0 || len(r.Results) == 0 {
+		t.Fatalf("rules = %d, results = %d; want both non-empty", len(r.Tool.Driver.Rules), len(r.Results))
+	}
+	for _, res := range r.Results {
+		if res.RuleID == "" || res.Level != "error" || len(res.Locations) != 1 {
+			t.Errorf("malformed result: %+v", res)
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine == 0 {
+			t.Errorf("result lacks file/line: %+v", res)
+		}
+	}
+}
+
+// TestGitHubFormat checks the workflow-command annotation grammar.
+func TestGitHubFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "github", "../../internal/analysis/testdata/src/simtime"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if !strings.HasPrefix(line, "::error file=") || !strings.Contains(line, "title=taqvet/") {
+			t.Errorf("not a workflow annotation: %q", line)
+		}
+	}
+}

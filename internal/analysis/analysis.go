@@ -86,7 +86,7 @@ func DefaultConfig() *Config {
 			// Wildcard patterns never expand into testdata, so these
 			// only match when a fixture is named explicitly, e.g.
 			//   go run ./cmd/taqvet ./internal/analysis/testdata/src/wallclock
-			"wallclock", "maprange", "timerleak",
+			"wallclock", "maprange", "timerleak", "detaint",
 		},
 		LockPackages: []string{"emu", "lockdiscipline"},
 	}
@@ -115,12 +115,21 @@ func containsBase(list []string, pkgPath string) bool {
 
 // All returns the full analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapRange, TimerLeak, LockDiscipline}
+	return []*Analyzer{Wallclock, MapRange, TimerLeak, LockDiscipline, TimerOwn, SimTime, Detaint}
 }
 
 // Run applies the configured analyzers to every package and returns the
 // surviving (non-suppressed) diagnostics sorted by position.
 func Run(pkgs []*Package, cfg *Config) []Diagnostic {
+	diags, _ := RunAudit(pkgs, cfg)
+	return diags
+}
+
+// RunAudit is Run plus suppression auditing: the second result lists
+// one "audit" diagnostic per //taq:allow directive that suppressed
+// nothing. A directive is only judged stale against analyzers that
+// actually ran, so -only subsets never produce false stales.
+func RunAudit(pkgs []*Package, cfg *Config) (diags, stale []Diagnostic) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
@@ -128,19 +137,42 @@ func Run(pkgs []*Package, cfg *Config) []Diagnostic {
 	if analyzers == nil {
 		analyzers = All()
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
+	seen := make(map[string]bool)
 	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Cfg: cfg, Pkg: pkg}
 			pass.report = func(d Diagnostic) {
-				if !allow.suppressed(d) {
+				if allow.suppressed(d) {
+					return
+				}
+				// The dataflow walker revisits loop bodies, so an
+				// analyzer may report one defect twice; keep the first.
+				key := d.String()
+				if !seen[key] {
+					seen[key] = true
 					out = append(out, d)
 				}
 			}
 			a.Run(pass)
 		}
+		stale = append(stale, allow.stale(ran, known)...)
 	}
+	sortDiagnostics(out)
+	sortDiagnostics(stale)
+	return out, stale
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -152,23 +184,34 @@ func Run(pkgs []*Package, cfg *Config) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
 // allowSet records //taq:allow suppression comments: a diagnostic is
 // suppressed when an allow comment naming its analyzer sits on the same
-// line or on the line immediately above.
+// line or on the line immediately above. Each directive tracks whether
+// it ever suppressed anything, so RunAudit can flag stale ones.
 type allowSet struct {
-	// byFile maps filename -> line -> analyzer names allowed there.
-	byFile map[string]map[int][]string
+	// byFile maps filename -> line -> directives declared there.
+	byFile  map[string]map[int][]*allowEntry
+	entries []*allowEntry
+}
+
+// allowEntry is one analyzer name of one //taq:allow directive.
+type allowEntry struct {
+	pos  token.Position
+	name string
+	used bool
 }
 
 const allowPrefix = "taq:allow"
 
 func collectAllows(pkg *Package) *allowSet {
-	s := &allowSet{byFile: make(map[string]map[int][]string)}
+	s := &allowSet{byFile: make(map[string]map[int][]*allowEntry)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -187,10 +230,14 @@ func collectAllows(pkg *Package) *allowSet {
 				pos := pkg.Fset.Position(c.Pos())
 				lines := s.byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*allowEntry)
 					s.byFile[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], names...)
+				for _, name := range names {
+					e := &allowEntry{pos: pos, name: name}
+					lines[pos.Line] = append(lines[pos.Line], e)
+					s.entries = append(s.entries, e)
+				}
 			}
 		}
 	}
@@ -202,14 +249,44 @@ func (s *allowSet) suppressed(d Diagnostic) bool {
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == d.Analyzer || name == "all" {
-				return true
+		for _, e := range lines[line] {
+			if e.name == d.Analyzer || e.name == "all" {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns one audit diagnostic per directive that suppressed
+// nothing. Only analyzers in ran are judged (a directive for an
+// analyzer that did not run this invocation is not stale); names not
+// in known are always reported, as misspellings suppress nothing ever.
+func (s *allowSet) stale(ran, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		switch {
+		case !known[e.name] && e.name != "all":
+			out = append(out, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: "audit",
+				Message:  fmt.Sprintf("//taq:allow names unknown analyzer %q (typo? see taqvet -list)", e.name),
+			})
+		case e.name == "all" || ran[e.name]:
+			out = append(out, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: "audit",
+				Message:  fmt.Sprintf("stale //taq:allow %s: it suppresses no finding — delete the directive", e.name),
+			})
+		}
+	}
+	return out
 }
 
 // exprString renders a (small) expression for diagnostics.

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/token"
 	"regexp"
@@ -95,6 +96,54 @@ func TestWallclock(t *testing.T)      { runCase(t, "wallclock", Wallclock) }
 func TestMapRange(t *testing.T)       { runCase(t, "maprange", MapRange) }
 func TestTimerLeak(t *testing.T)      { runCase(t, "timerleak", TimerLeak) }
 func TestLockDiscipline(t *testing.T) { runCase(t, "lockdiscipline", LockDiscipline) }
+func TestTimerOwn(t *testing.T)       { runCase(t, "timerown", TimerOwn) }
+func TestSimTime(t *testing.T)        { runCase(t, "simtime", SimTime) }
+func TestDetaint(t *testing.T)        { runCase(t, "detaint", Detaint) }
+
+// TestLoadErrorNamesPackage pins the exit-2 contract's prerequisite:
+// when a package fails to type-check, Load must surface a *LoadError
+// carrying the failing package's import path so the driver can name it.
+func TestLoadErrorNamesPackage(t *testing.T) {
+	_, err := Load(".", "./testdata/src/broken")
+	if err == nil {
+		t.Fatal("Load of testdata/src/broken succeeded, want type-check failure")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("Load error is %T (%v), want *LoadError", err, err)
+	}
+	if !strings.Contains(le.Pkg, "broken") {
+		t.Errorf("LoadError.Pkg = %q, want the broken package's path", le.Pkg)
+	}
+	if !strings.Contains(le.Error(), le.Pkg) {
+		t.Errorf("LoadError message %q does not name the package", le.Error())
+	}
+}
+
+// TestAuditStaleAllow checks that a directive which suppresses nothing
+// is reported stale, while a live one is not.
+func TestAuditStaleAllow(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/maprange")
+	if err != nil {
+		t.Fatalf("loading testdata/maprange: %v", err)
+	}
+	// maprange's fixture contains live //taq:allow directives; run with
+	// the analyzer they name, then without it.
+	_, stale := RunAudit(pkgs, testConfig(MapRange))
+	for _, d := range stale {
+		if strings.Contains(d.Message, "stale //taq:allow maprange") {
+			t.Errorf("live directive flagged stale: %s", d)
+		}
+	}
+	// With only wallclock running, maprange directives must NOT be
+	// judged (their analyzer did not run), so no stale reports either.
+	_, stale = RunAudit(pkgs, testConfig(Wallclock))
+	for _, d := range stale {
+		if strings.Contains(d.Message, "taq:allow maprange") {
+			t.Errorf("directive for non-running analyzer flagged: %s", d)
+		}
+	}
+}
 
 // TestRepoIsClean runs the whole production suite over the module: the
 // determinism contract is a tier-1 invariant, so a stray time.Now or an

@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detaint extends maprange across function boundaries. maprange flags
+// order-sensitive work *inside* a `range m` loop; detaint tracks values
+// *derived from* map iteration order — a keys slice, a first-match, a
+// reduction — as they flow through returns, parameters, and struct
+// fields within a package, and reports when such a value reaches an
+// order-sensitive sink in a deterministic package:
+//
+//   - an argument to Schedule/ScheduleAt/After/Reschedule (event order
+//     becomes map-order);
+//   - floating-point accumulation (float addition is not associative);
+//   - iteration that calls functions (callbacks run in map order);
+//   - a call that forwards the value to a function whose parameter
+//     reaches one of those sinks (reported at the call site).
+//
+// Passing the value through sort.* or slices.* clears the taint — the
+// collect-then-sort idiom is the sanctioned fix. Purely intra-function
+// order sensitivity stays maprange's job; detaint only reports taint
+// that crossed a function, field, or call boundary, so the two never
+// double-report one defect.
+var Detaint = &Analyzer{
+	Name: "detaint",
+	Doc:  "flag map-iteration-order taint that crosses function boundaries into scheduling, ordering, or float accumulation",
+	Run:  runDetaint,
+}
+
+// Taint facts (bitmask; FlowState joins by OR).
+const (
+	taintMap   = 1 << 0 // locally derived from map iteration order
+	taintCross = 1 << 1 // derived from a tainted function result or field
+	paramShift = 2      // bit paramShift+i: derived from parameter i
+	maxParams  = 30
+)
+
+func taintJoin(a, b int) int { return a | b }
+
+func paramBit(i int) int {
+	if i >= maxParams {
+		return 0
+	}
+	return 1 << (paramShift + i)
+}
+
+// ordered reports whether the taint carries actual map order (directly
+// or through a call/field), as opposed to hypothetical parameter taint.
+func ordered(t int) bool { return t&(taintMap|taintCross) != 0 }
+
+// taintSummary is what one function exposes to its callers.
+type taintSummary struct {
+	// result: some return value carries map-iteration order.
+	result bool
+	// resultFromParam: bitmask of parameters whose taint reaches a
+	// return value.
+	resultFromParam int
+	// paramSink maps a parameter index to a description of the
+	// order-sensitive sink it reaches inside the function.
+	paramSink map[int]string
+}
+
+type detaintContext struct {
+	pass       *Pass
+	summaries  map[*types.Func]*taintSummary
+	fieldTaint map[types.Object]bool
+	report     bool
+	changed    bool
+}
+
+func runDetaint(p *Pass) {
+	if !p.Cfg.IsDeterministic(p.Pkg.Path) {
+		return
+	}
+	ctx := &detaintContext{
+		pass:       p,
+		summaries:  make(map[*types.Func]*taintSummary),
+		fieldTaint: make(map[types.Object]bool),
+	}
+	// Fixpoint over the package's call graph: summaries and field
+	// taints feed each other, so iterate until stable (the lattice is
+	// finite and monotone; four rounds cover any realistic chain).
+	for i := 0; i < 4; i++ {
+		ctx.changed = false
+		ctx.analyzePackage()
+		if !ctx.changed {
+			break
+		}
+	}
+	ctx.report = true
+	ctx.analyzePackage()
+}
+
+func (c *detaintContext) analyzePackage() {
+	for _, f := range c.pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.analyzeFunc(fd)
+		}
+	}
+}
+
+func (c *detaintContext) summaryFor(fn *types.Func) *taintSummary {
+	s := c.summaries[fn]
+	if s == nil {
+		s = &taintSummary{paramSink: make(map[int]string)}
+		c.summaries[fn] = s
+	}
+	return s
+}
+
+func (c *detaintContext) analyzeFunc(fd *ast.FuncDecl) {
+	info := c.pass.Pkg.Info
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sum := c.summaryFor(fn)
+	sig := fn.Type().(*types.Signature)
+
+	// Hypothetical taint: parameter i starts with its own bit, so a
+	// sink hit by bit i becomes a paramSink entry rather than a report.
+	st := make(FlowState)
+	paramIndex := make(map[types.Object]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		obj := sig.Params().At(i)
+		paramIndex[obj] = i
+		st.Set(Ref{Base: obj}, paramBit(i))
+	}
+
+	recordParamSinks := func(t int, sink string) {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if t&paramBit(i) != 0 {
+				if sum.paramSink[i] == "" {
+					sum.paramSink[i] = sink
+					c.changed = true
+				}
+			}
+		}
+	}
+
+	hooks := FlowHooks{
+		Join: taintJoin,
+		Range: func(rs *ast.RangeStmt, st FlowState) {
+			xt := info.TypeOf(rs.X)
+			if xt == nil {
+				return
+			}
+			if _, isMap := xt.Underlying().(*types.Map); isMap {
+				for _, v := range []ast.Expr{rs.Key, rs.Value} {
+					if obj := rangeVarObj(info, v); obj != nil {
+						st.Set(Ref{Base: obj}, st.Get(Ref{Base: obj})|taintMap)
+					}
+				}
+				return
+			}
+			// Ranging a tainted slice: the element pairing carries map
+			// order. Iterating it with calls is itself a sink.
+			t := c.exprTaint(rs.X, st)
+			if t == 0 {
+				return
+			}
+			for _, v := range []ast.Expr{rs.Key, rs.Value} {
+				if obj := rangeVarObj(info, v); obj != nil {
+					st.Set(Ref{Base: obj}, st.Get(Ref{Base: obj})|t)
+				}
+			}
+			if bodyCalls(info, rs.Body) {
+				if c.report && t&taintCross != 0 {
+					c.pass.Reportf(rs.Pos(),
+						"iterating %s, whose order derives from map iteration in another function, and calling functions per element; sort it first (or sort in the producer)",
+						exprString(rs.X))
+				}
+				recordParamSinks(t, "per-element calls in iteration order")
+				// The range-level finding covers every per-element use,
+				// so strip the ordered bits from the loop variables:
+				// body sinks must not re-report the same defect.
+				if t&taintCross != 0 {
+					for _, v := range []ast.Expr{rs.Key, rs.Value} {
+						if obj := rangeVarObj(info, v); obj != nil {
+							st.Set(Ref{Base: obj}, st.Get(Ref{Base: obj})&^(taintMap|taintCross))
+						}
+					}
+				}
+			}
+		},
+		Assign: func(lhs, rhs ast.Expr, tok token.Token, st FlowState) {
+			var rt int
+			if rhs != nil {
+				rt = c.exprTaint(rhs, st)
+			}
+			switch tok {
+			case token.ASSIGN, token.DEFINE:
+				if r, ok := RefOf(info, lhs); ok {
+					st.Set(r, rt)
+					if r.Field != nil && ordered(rt) && !c.fieldTaint[r.Field] {
+						c.fieldTaint[r.Field] = true
+						c.changed = true
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if lt := info.TypeOf(lhs); isFloat(lt) {
+					if c.report && rt&taintCross != 0 {
+						c.pass.Reportf(lhs.Pos(),
+							"floating-point accumulation of a value whose order derives from map iteration in another function; float addition is not associative — sort the inputs first",
+						)
+					}
+					recordParamSinks(rt, "floating-point accumulation")
+				}
+				if r, ok := RefOf(info, lhs); ok {
+					st.Set(r, st.Get(r)|rt)
+				}
+			default:
+				if r, ok := RefOf(info, lhs); ok {
+					st.Set(r, st.Get(r)|rt)
+				}
+			}
+		},
+		PostCall: func(call *ast.CallExpr, st FlowState) {
+			// sort.*/slices.* sanitize their argument in place.
+			if isSortCall(info, call) {
+				for _, arg := range call.Args {
+					if r, ok := RefOf(info, unconvert(info, arg)); ok {
+						st.Set(r, 0)
+					}
+				}
+				return
+			}
+			// Scheduling sinks: event order must not be map order.
+			if name := scheduleCalleeName(call); name != "" {
+				for _, arg := range call.Args {
+					t := c.exprTaint(arg, st)
+					if c.report && t&taintCross != 0 {
+						c.pass.Reportf(arg.Pos(),
+							"%s argument derives from map iteration order in another function; event order becomes nondeterministic — sort the derivation first", name)
+					}
+					recordParamSinks(t, name+" argument")
+				}
+			}
+			// Forwarding into a function whose parameter reaches a sink.
+			callee, _ := calleeObj(info, call.Fun).(*types.Func)
+			if callee == nil {
+				return
+			}
+			calleeSum := c.summaries[callee]
+			if calleeSum == nil {
+				return
+			}
+			for i, arg := range call.Args {
+				sink := calleeSum.paramSink[i]
+				if sink == "" {
+					continue
+				}
+				t := c.exprTaint(arg, st)
+				if c.report && ordered(t) {
+					c.pass.Reportf(arg.Pos(),
+						"passes a map-iteration-ordered value to %s, which feeds it into %s; sort it before the call", callee.Name(), sink)
+				}
+				recordParamSinks(t, fmt.Sprintf("%s (via %s)", sink, callee.Name()))
+			}
+		},
+		Return: func(rt *ast.ReturnStmt, st FlowState) {
+			for _, res := range rt.Results {
+				t := c.exprTaint(res, st)
+				if ordered(t) && !sum.result {
+					sum.result = true
+					c.changed = true
+				}
+				if bits := t &^ (taintMap | taintCross); bits != 0 && sum.resultFromParam&bits != bits {
+					sum.resultFromParam |= bits
+					c.changed = true
+				}
+			}
+		},
+	}
+	WalkFlow(info, fd.Body, st, hooks)
+}
+
+// exprTaint computes the taint of an expression under the current
+// state, consulting function summaries and tainted fields.
+func (c *detaintContext) exprTaint(e ast.Expr, st FlowState) int {
+	info := c.pass.Pkg.Info
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if r, ok := RefOf(info, e); ok {
+			t := st.Get(r)
+			if r.Field != nil && c.fieldTaint[r.Field] {
+				t |= taintCross
+			}
+			return t
+		}
+		// A bare field selector whose base is not a simple variable
+		// (e.g. chained accessor): field taint still applies.
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal && c.fieldTaint[s.Obj()] {
+				return taintCross
+			}
+		}
+		return 0
+	case *ast.IndexExpr:
+		return c.exprTaint(x.X, st) | c.exprTaint(x.Index, st)
+	case *ast.SliceExpr:
+		return c.exprTaint(x.X, st)
+	case *ast.StarExpr:
+		return c.exprTaint(x.X, st)
+	case *ast.UnaryExpr:
+		return c.exprTaint(x.X, st)
+	case *ast.BinaryExpr:
+		return c.exprTaint(x.X, st) | c.exprTaint(x.Y, st)
+	case *ast.CompositeLit:
+		t := 0
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t |= c.exprTaint(el, st)
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return c.exprTaint(x.X, st)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+			if len(x.Args) == 1 {
+				return c.exprTaint(x.Args[0], st) // conversion
+			}
+			return 0
+		}
+		if b, ok := calleeObj(info, x.Fun).(*types.Builtin); ok {
+			if b.Name() == "append" {
+				t := 0
+				for _, arg := range x.Args {
+					t |= c.exprTaint(arg, st)
+				}
+				return t
+			}
+			return 0 // len/cap/min/max are order-free
+		}
+		if isSortCall(info, x) {
+			return 0 // sorted copies come back order-free
+		}
+		callee, _ := calleeObj(info, x.Fun).(*types.Func)
+		if callee == nil {
+			return 0
+		}
+		sum := c.summaries[callee]
+		if sum == nil {
+			return 0
+		}
+		t := 0
+		if sum.result {
+			t |= taintCross
+		}
+		for i, arg := range x.Args {
+			if sum.resultFromParam&paramBit(i) == 0 {
+				continue
+			}
+			at := c.exprTaint(arg, st)
+			if ordered(at) {
+				t |= taintCross
+			}
+			t |= at &^ (taintMap | taintCross)
+		}
+		return t
+	}
+	return 0
+}
+
+// bodyCalls reports whether the block contains a real function call
+// (not a conversion or order-free builtin).
+func bodyCalls(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		if _, ok := calleeObj(info, call.Fun).(*types.Builtin); ok {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// scheduleCalleeName returns the event-scheduling entry point name when
+// call is one (Schedule/ScheduleAt/After/Reschedule), else "".
+func scheduleCalleeName(call *ast.CallExpr) string {
+	name := ""
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	}
+	switch name {
+	case "Schedule", "ScheduleAt", "After", "Reschedule":
+		return name
+	}
+	return ""
+}
+
+// isSortCall reports whether call is into package sort or slices.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// unconvert unwraps a single conversion (sort.Sort(byID(ids))).
+func unconvert(info *types.Info, e ast.Expr) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return e
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return call.Args[0]
+	}
+	return e
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

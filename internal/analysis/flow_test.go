@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// flow_test.go drives the shared dataflow walker directly: mark(x)
+// sets the fact 1 on x via PostCall, probe(x) records x's fact, and
+// the test join maps any disagreement to 3 ("maybe"). The probe logs
+// pin the branch-join, loop double-walk, assignment-kill, and closure
+// -isolation semantics the analyzers depend on.
+const flowSrc = `package p
+
+func mark(x int)  {}
+func probe(x int) {}
+
+func branchOne(cond bool, x int) {
+	if cond {
+		mark(x)
+	}
+	probe(x)
+}
+
+func branchBoth(cond bool, x int) {
+	if cond {
+		mark(x)
+	} else {
+		mark(x)
+	}
+	probe(x)
+}
+
+func assignKills(x int) {
+	mark(x)
+	x = 0
+	probe(x)
+}
+
+func loopCarried(x int) {
+	for i := 0; i < 3; i++ {
+		probe(x)
+		mark(x)
+	}
+	probe(x)
+}
+
+func closureIsolated(x int) {
+	mark(x)
+	f := func() {
+		probe(x)
+	}
+	f()
+	probe(x)
+}
+
+func switchJoin(n int, x int) {
+	switch n {
+	case 0:
+		mark(x)
+	default:
+	}
+	probe(x)
+}
+`
+
+func parseFlowSrc(t *testing.T) (*types.Info, map[string]*ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow_test_src.go", flowSrc, 0)
+	if err != nil {
+		t.Fatalf("parsing flow source: %v", err)
+	}
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-checking flow source: %v", err)
+	}
+	funcs := make(map[string]*ast.FuncDecl)
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			funcs[fd.Name.Name] = fd
+		}
+	}
+	return info, funcs
+}
+
+// runFlowProbe walks one function and returns the facts probe() saw,
+// in hook-firing order.
+func runFlowProbe(t *testing.T, info *types.Info, fd *ast.FuncDecl) []int {
+	t.Helper()
+	var log []int
+	hooks := FlowHooks{
+		Join: func(a, b int) int {
+			if a == b {
+				return a
+			}
+			return 3
+		},
+		PostCall: func(call *ast.CallExpr, st FlowState) {
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || len(call.Args) != 1 {
+				return
+			}
+			r, refOK := RefOf(info, call.Args[0])
+			switch id.Name {
+			case "mark":
+				if refOK {
+					st.Set(r, 1)
+				}
+			case "probe":
+				if refOK {
+					log = append(log, st.Get(r))
+				} else {
+					log = append(log, -1)
+				}
+			}
+		},
+		Assign: func(lhs, rhs ast.Expr, tok token.Token, st FlowState) {
+			if r, ok := RefOf(info, lhs); ok {
+				st.Set(r, 0)
+			}
+		},
+	}
+	WalkFlow(info, fd.Body, nil, hooks)
+	return log
+}
+
+func TestWalkFlow(t *testing.T) {
+	info, funcs := parseFlowSrc(t)
+	cases := []struct {
+		fn   string
+		want []int
+	}{
+		// Transfer on one path only: the merge point sees "maybe".
+		{"branchOne", []int{3}},
+		// Both arms set the fact: the merge point sees it definitely.
+		{"branchBoth", []int{1}},
+		// A plain reassignment kills the fact.
+		{"assignKills", []int{0}},
+		// First pass enters clean (0); the second pass starts from
+		// entry ⊔ first-exit, so the loop-carried fact shows as maybe;
+		// after the loop the body may not have run, so maybe again.
+		{"loopCarried", []int{0, 3, 3}},
+		// The closure body is walked with a fresh state (probe sees 0)
+		// and leaks nothing back (the outer probe still sees 1).
+		{"closureIsolated", []int{0, 1}},
+		// switch clauses join like if branches.
+		{"switchJoin", []int{3}},
+	}
+	for _, tc := range cases {
+		fd := funcs[tc.fn]
+		if fd == nil {
+			t.Fatalf("function %s missing from flow source", tc.fn)
+		}
+		if got := runFlowProbe(t, info, fd); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: probe log = %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+}
+
+func TestRefOfFieldPath(t *testing.T) {
+	info, funcs := parseFlowSrc(t)
+	fd := funcs["branchOne"]
+	// x is a parameter: RefOf must resolve it with no Field.
+	var xIdent *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "x" && xIdent == nil {
+			xIdent = id
+		}
+		return true
+	})
+	if xIdent == nil {
+		t.Fatal("no use of x found")
+	}
+	r, ok := RefOf(info, xIdent)
+	if !ok || r.Base == nil || r.Field != nil {
+		t.Errorf("RefOf(x) = %+v, %v; want plain variable ref", r, ok)
+	}
+}

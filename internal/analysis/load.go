@@ -27,6 +27,24 @@ type Package struct {
 	Info  *types.Info
 }
 
+// LoadError reports a package that failed to list, parse, or
+// type-check. Pkg is always set when the failing package is known, so
+// drivers can name it and exit with a load-error status (2) rather
+// than a findings status (1).
+type LoadError struct {
+	Pkg string // import path of the failing package ("" if unknown)
+	Err error
+}
+
+func (e *LoadError) Error() string {
+	if e.Pkg == "" {
+		return e.Err.Error()
+	}
+	return fmt.Sprintf("package %s: %v", e.Pkg, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
+
 // listedPackage is the subset of `go list -json` output we consume.
 type listedPackage struct {
 	ImportPath string
@@ -50,14 +68,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-deps", "-export", "-json", "--"}, patterns...)
+	// -e keeps go list exiting 0 on broken packages and reports them
+	// structurally instead, so a mid-run failure still names the
+	// package (the driver turns any *LoadError into exit status 2).
+	args := append([]string{"list", "-e", "-deps", "-export", "-json", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, &LoadError{Err: fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())}
 	}
 
 	exports := make(map[string]string) // import path -> export data file
@@ -68,10 +89,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err := dec.Decode(&lp); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %v", err)
+			return nil, &LoadError{Err: fmt.Errorf("go list: decoding output: %v", err)}
 		}
 		if lp.Error != nil {
-			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+			return nil, &LoadError{Pkg: lp.ImportPath, Err: fmt.Errorf("%s", lp.Error.Err)}
 		}
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
@@ -108,7 +129,7 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 	for _, name := range lp.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %v", name, err)
+			return nil, &LoadError{Pkg: lp.ImportPath, Err: fmt.Errorf("parsing %s: %v", name, err)}
 		}
 		files = append(files, f)
 	}
@@ -131,10 +152,10 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 	}
 	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
 	if firstErr != nil {
-		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, firstErr)
+		return nil, &LoadError{Pkg: lp.ImportPath, Err: fmt.Errorf("type-checking: %v", firstErr)}
 	}
 	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		return nil, &LoadError{Pkg: lp.ImportPath, Err: fmt.Errorf("type-checking: %v", err)}
 	}
 	return &Package{
 		Path:  lp.ImportPath,

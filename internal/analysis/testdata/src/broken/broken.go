@@ -1,0 +1,8 @@
+// Package broken fails to type-check on purpose: the loader must turn
+// this into a *LoadError naming the package, and the taqvet driver must
+// exit 2 (never 1) when it sees one.
+package broken
+
+func typeError() int {
+	return "not an int"
+}

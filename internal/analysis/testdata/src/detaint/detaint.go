@@ -1,0 +1,132 @@
+// Package detaint exercises the cross-function map-order taint
+// analyzer: values derived from map iteration order must pass through
+// sort before reaching scheduling, per-element calls, or float
+// accumulation — even when the derivation and the sink live in
+// different functions.
+package detaint
+
+import (
+	"sort"
+
+	"taq/internal/sim"
+)
+
+type sched struct {
+	run   sim.Runner
+	order []int
+}
+
+// unsortedKeys derives a slice whose order is map iteration order.
+func unsortedKeys(m map[int]float64) []int {
+	var ks []int
+	//taq:allow maprange (this fixture feeds detaint, which reports at the sinks)
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// sortedKeys sorts before returning: the taint is cleared.
+func sortedKeys(m map[int]float64) []int {
+	ks := unsortedKeys(m)
+	sort.Ints(ks)
+	return ks
+}
+
+// firstDelay returns an arbitrary (map-ordered) element.
+func firstDelay(m map[sim.Time]bool) sim.Time {
+	//taq:allow maprange (first-match overwrite is the taint under test)
+	for d := range m {
+		return d
+	}
+	return 0
+}
+
+// emit is an order-sensitive callee: its parameter reaches Schedule.
+func emit(r sim.Runner, id int) {
+	delay := sim.Time(id) * sim.Millisecond
+	r.Schedule(delay, func() {}) // parameter id -> Schedule argument
+}
+
+// scheduleFirst feeds a map-ordered value into Schedule.
+func scheduleFirst(r sim.Runner, m map[sim.Time]bool) {
+	d := firstDelay(m)
+	r.Schedule(d, func() {}) // want `Schedule argument derives from map iteration order in another function`
+}
+
+// iterateUnsorted drives callbacks in map order.
+func iterateUnsorted(r sim.Runner, m map[int]float64) {
+	ids := unsortedKeys(m)
+	for _, id := range ids { // want `iterating ids, whose order derives from map iteration in another function`
+		emit(r, id)
+	}
+}
+
+// accumulateUnsorted sums floats in map order.
+func accumulateUnsorted(m map[int]float64) float64 {
+	var sum float64
+	vals := unsortedVals(m)
+	for _, v := range vals {
+		sum += v // want `floating-point accumulation of a value whose order derives from map iteration`
+	}
+	return sum
+}
+
+// unsortedVals derives values in map order.
+func unsortedVals(m map[int]float64) []float64 {
+	var vs []float64
+	//taq:allow maprange (this fixture feeds detaint, which reports at the sinks)
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// forwardToSink passes a map-ordered value to a function whose
+// parameter reaches Schedule.
+func forwardToSink(r sim.Runner, m map[int]float64) {
+	ids := unsortedKeys(m)
+	for i := 0; i < len(ids); i++ {
+		emit(r, ids[i]) // want `passes a map-iteration-ordered value to emit, which feeds it into Schedule argument`
+	}
+}
+
+// stashOrder parks map-ordered data in a field; the sink is in
+// another method.
+func (s *sched) stashOrder(m map[int]float64) {
+	s.order = unsortedKeys(m)
+}
+
+// replayOrder drains the tainted field into per-element calls.
+func (s *sched) replayOrder() {
+	for _, id := range s.order { // want `iterating s.order, whose order derives from map iteration in another function`
+		emit(s.run, id)
+	}
+}
+
+// --- non-findings ---
+
+// scheduleSorted: the producer sorted, so callers are clean.
+func scheduleSorted(r sim.Runner, m map[int]float64) {
+	for _, id := range sortedKeys(m) {
+		emit(r, id)
+	}
+}
+
+// sortBeforeUse: the consumer sorts a tainted slice before using it.
+func sortBeforeUse(r sim.Runner, m map[int]float64) {
+	ids := unsortedKeys(m)
+	sort.Ints(ids)
+	for _, id := range ids {
+		emit(r, id)
+	}
+}
+
+// intCount accumulates integers, which is order-free.
+func intCount(m map[int]float64) int {
+	n := 0
+	for _, id := range unsortedKeys(m) {
+		n += id
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+// Package simtime exercises the simtime units checker: sim.Time is
+// virtual nanoseconds, time.Duration is wall nanoseconds, and float64
+// seconds flow through metrics — mixing them needs explicit helpers.
+package simtime
+
+import (
+	"time"
+
+	"taq/internal/sim"
+)
+
+// bareLiteralArg passes raw nanoseconds where a duration was meant.
+func bareLiteralArg(r sim.Runner) {
+	r.Schedule(5, func() {}) // want `bare numeric literal 5 used as sim.Time`
+}
+
+// bareLiteralAssign assigns a unitless constant.
+func bareLiteralAssign() sim.Time {
+	var warmup sim.Time = 250 // want `bare numeric literal 250 used as sim.Time`
+	timeout := sim.Time(0)
+	timeout = 3 // want `bare numeric literal 3 used as sim.Time`
+	return warmup + timeout
+}
+
+// bareLiteralCompare compares against raw nanoseconds.
+func bareLiteralCompare(t sim.Time) bool {
+	return t > 100 // want `bare numeric literal 100 used as sim.Time`
+}
+
+// floatConversion truncates raw float seconds to nanoseconds.
+func floatConversion(seconds float64) sim.Time {
+	return sim.Time(seconds) // want `truncates a raw float with no time-typed operand`
+}
+
+// secondsConversion converts a seconds value where ns are expected.
+func secondsConversion(t sim.Time) sim.Time {
+	return sim.Time(t.Seconds()) // want `converts a \*seconds\* value to nanoseconds without scaling`
+}
+
+// rawDurationConversion skips the explicit helpers.
+func rawDurationConversion(d time.Duration, t sim.Time) (sim.Time, time.Duration) {
+	return sim.Time(d), time.Duration(t) // want `raw conversion sim.Time\(d\) from time.Duration` `raw conversion time.Duration\(t\) from sim.Time`
+}
+
+// mixedUnitsCompare compares seconds to nanoseconds.
+func mixedUnitsCompare(t sim.Time, cutoff sim.Time) bool {
+	return t.Seconds() > float64(cutoff) // want `mixes a .Seconds\(\) value with a float64\(<time>\) nanosecond value`
+}
+
+// --- non-findings ---
+
+// unitLiterals write every constant against a unit.
+func unitLiterals(r sim.Runner) sim.Time {
+	r.Schedule(5*sim.Second, func() {})
+	r.Schedule(sim.Millisecond, func() {})
+	warmup := 250 * sim.Microsecond
+	return warmup
+}
+
+// explicitConversions use the sanctioned helpers.
+func explicitConversions(d time.Duration, s float64) sim.Time {
+	return sim.FromDuration(d) + sim.FromSeconds(s)
+}
+
+// dimensionlessScaling multiplies by raw factors, which is how jitter
+// and backoff are written; the unit rides on the other operand.
+func dimensionlessScaling(rtt sim.Time, cwnd float64, i int) sim.Time {
+	paced := sim.Time(float64(rtt) / cwnd)
+	backoff := rtt * sim.Time(i) * 2
+	return paced + backoff
+}
+
+// zeroAndSentinel: 0 and -1 carry no unit by convention.
+func zeroAndSentinel(t sim.Time) bool {
+	var idle sim.Time = -1
+	return t == 0 || t == idle
+}
+
+// sameUnitFloats compares seconds to seconds.
+func sameUnitFloats(a, b sim.Time) bool {
+	return a.Seconds() > b.Seconds()+0.5
+}
