@@ -24,10 +24,11 @@ test:
 	$(GO) test ./...
 
 # The race detector only matters where real goroutines run: the
-# emulation layer, the pcap-style capture pipeline, and the experiment
-# sweep worker pool.
+# emulation layer (including the obs recorder + live endpoint under
+# concurrent timers), the pcap-style capture pipeline, and the
+# experiment sweep worker pool.
 race:
-	$(GO) test -race ./internal/emu/... ./internal/capture/...
+	$(GO) test -race ./internal/emu/... ./internal/capture/... ./internal/obs/...
 	$(GO) test -race -run 'TestRunPoints|TestParallelSweep' ./experiments
 
 fuzz:

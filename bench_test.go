@@ -12,6 +12,7 @@ import (
 	"taq/experiments"
 	"taq/internal/core"
 	"taq/internal/link"
+	"taq/internal/obs"
 	"taq/internal/packet"
 	"taq/internal/queue"
 	"taq/internal/sim"
@@ -226,6 +227,50 @@ func BenchmarkDisciplineTAQ(b *testing.B) {
 	e := sim.NewEngine(1)
 	mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
 	benchmarkDiscipline(b, mb)
+}
+
+// BenchmarkDisciplineTAQObsOn is the tracing-overhead companion of
+// BenchmarkDisciplineTAQ: the same workload with a flight recorder
+// attached, so the delta between the two is the per-packet cost of the
+// obs layer when enabled (EXPERIMENTS.md quotes both).
+func BenchmarkDisciplineTAQObsOn(b *testing.B) {
+	e := sim.NewEngine(1)
+	mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
+	mb.SetRecorder(obs.NewRecorder(nil, obs.DefaultRingSize))
+	benchmarkDiscipline(b, mb)
+}
+
+// TestObsOffHotPathZeroAllocs is the "zero overhead when off" proof at
+// the middlebox level: with no recorder attached, a warmed TAQ
+// enqueue/dequeue cycle must not allocate — the obs hooks must reduce
+// to a nil check.
+func TestObsOffHotPathZeroAllocs(t *testing.T) {
+	e := sim.NewEngine(1)
+	mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
+	pkts := make([]*packet.Packet, 64)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{
+			Flow: packet.FlowID(i % 8), Kind: packet.Data,
+			Seq: i, Size: 500,
+		}
+	}
+	// Warm up: create the flow-tracker entries and per-class queues so
+	// steady state is measured, not first-touch growth.
+	for _, p := range pkts {
+		mb.Enqueue(p)
+	}
+	for mb.Dequeue() != nil {
+	}
+
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		mb.Enqueue(pkts[i%len(pkts)])
+		mb.Dequeue()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("TAQ enqueue/dequeue with tracing off: %v allocs/op, want 0", allocs)
+	}
 }
 
 func BenchmarkInitialWindow(b *testing.B) {

@@ -22,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -67,10 +70,55 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
 		outPath  = flag.String("out", "", "write the JSON report to this file (default stdout)")
 		baseline = flag.Bool("baseline", false, "also run each experiment serially and report the parallel speedup")
+
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut = flag.String("trace", "", "write a runtime/trace to this file")
 	)
 	flag.Parse()
 	s := experiments.Scale(*scale)
 	experiments.SetParallelism(*parallel)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC() // flush recently-freed objects out of the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}()
+	}
 
 	runners := map[string]func() result{
 		"model": func() result {

@@ -9,11 +9,15 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"os"
 
+	"taq/internal/core"
 	"taq/internal/emu"
 	"taq/internal/link"
+	"taq/internal/obs"
 	"taq/internal/sim"
 )
 
@@ -25,8 +29,31 @@ func main() {
 		duration = flag.Float64("duration", 60, "virtual seconds to run")
 		speedup  = flag.Float64("speedup", 10, "virtual-to-wall time ratio")
 		seed     = flag.Int64("seed", 1, "random seed")
+		httpAddr = flag.String("http", "", "serve live gauges + pprof on this address (e.g. 127.0.0.1:6060)")
+		events   = flag.String("events", "", "write the JSONL event trace to this file")
 	)
 	flag.Parse()
+
+	var rec *obs.Recorder
+	var closeEvents func() error
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taqmbox:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		sink := obs.NewJSONLSink(w)
+		sink.ClassName = func(c int8) string { return core.Class(c).String() }
+		sink.StateName = func(s int8) string { return core.FlowState(s).String() }
+		rec = obs.NewRecorder(sink, 0)
+		closeEvents = func() error {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
 
 	virtual := sim.FromSeconds(*duration)
 	tb := emu.NewTestbed(emu.TestbedConfig{
@@ -35,7 +62,16 @@ func main() {
 		Bandwidth:  link.Bps(*bw),
 		UseTAQ:     *useTAQ,
 		SliceWidth: virtual / 4,
+		Events:     rec,
+		HTTPAddr:   *httpAddr,
 	})
+	if tb.HTTPErr != nil {
+		fmt.Fprintln(os.Stderr, "taqmbox: http:", tb.HTTPErr)
+		os.Exit(1)
+	}
+	if tb.HTTP != nil {
+		fmt.Printf("live endpoint: http://%s/vars (pprof under /debug/pprof/)\n", tb.HTTP.Addr())
+	}
 	for i := 0; i < *flows; i++ {
 		tb.AddBulkFlow()
 	}
@@ -47,6 +83,7 @@ func main() {
 		queue, *bw, *flows, *speedup, *duration / *speedup)
 
 	step := virtual / 4
+	var prev core.Stats
 	for i := 1; i <= 4; i++ {
 		tb.RunFor(step)
 		tb.Snapshot(func() {
@@ -57,7 +94,18 @@ func main() {
 			}
 			fmt.Printf("t=%4.0fs  shortJFI=%.3f  loss=%.3f  arrivals=%d\n",
 				(sim.Time(i) * step).Seconds(), tb.Slicer.MeanSliceJFI(0, slices), loss, tb.QueueArrivals)
+			if tb.Middlebox != nil {
+				cur := tb.Middlebox.Stats.Snapshot()
+				fmt.Printf("         interval: %s\n", cur.Delta(prev))
+				prev = cur
+			}
 		})
 	}
 	tb.Stop()
+	if closeEvents != nil {
+		if err := closeEvents(); err != nil {
+			fmt.Fprintln(os.Stderr, "taqmbox: events:", err)
+			os.Exit(1)
+		}
+	}
 }

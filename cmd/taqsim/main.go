@@ -9,16 +9,43 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
+	"taq/internal/core"
 	"taq/internal/link"
+	"taq/internal/obs"
 	"taq/internal/sim"
 	"taq/internal/tcp"
 	"taq/internal/topology"
 	"taq/internal/workload"
 )
+
+// newEventRecorder opens path and returns a streaming recorder writing
+// JSONL events to it with human-readable class/state labels.
+func newEventRecorder(path string) (*obs.Recorder, func() error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taqsim:", err)
+		os.Exit(1)
+	}
+	bw := bufio.NewWriter(f)
+	sink := obs.NewJSONLSink(bw)
+	sink.ClassName = func(c int8) string { return core.Class(c).String() }
+	sink.StateName = func(s int8) string { return core.FlowState(s).String() }
+	rec := obs.NewRecorder(sink, 0)
+	return rec, func() error {
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
 
 func main() {
 	var (
@@ -33,6 +60,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		sack     = flag.Bool("sack", false, "use SACK recovery instead of NewReno")
 		iw       = flag.Float64("iw", 2, "initial congestion window (segments)")
+
+		events   = flag.String("events", "", "write the JSONL event trace to this file")
+		gauges   = flag.String("gauges", "", "write the CSV gauge time series to this file")
+		gaugeInt = flag.Float64("gauge-interval", 1, "gauge sampling cadence (simulated seconds)")
 	)
 	flag.Parse()
 
@@ -53,6 +84,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "taqsim:", err)
 		os.Exit(1)
 	}
+	if *events != "" {
+		rec, closeEvents := newEventRecorder(*events)
+		net.EnableObservability(rec)
+		defer func() {
+			if err := closeEvents(); err != nil {
+				fmt.Fprintln(os.Stderr, "taqsim: events:", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	if *gauges != "" {
+		f, err := os.Create(*gauges)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taqsim:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		net.EnableGauges(sim.FromSeconds(*gaugeInt), obs.NewCSVSeries(bw))
+		defer func() {
+			if err := net.Gauges.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "taqsim: gauges:", err)
+				os.Exit(1)
+			}
+			if err := bw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "taqsim: gauges:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
+
 	workload.AddBulkFlows(net, *flows, 50*sim.Millisecond)
 	net.Run(sim.FromSeconds(*duration))
 
@@ -72,6 +134,7 @@ func main() {
 	if net.Middlebox != nil {
 		fmt.Printf("middlebox        : lossRate=%.3f activeFlows=%d\n",
 			net.Middlebox.LossRate(), net.Middlebox.ActiveFlows())
+		fmt.Printf("middlebox stats  : %s\n", net.Middlebox.Stats.Snapshot())
 		fmt.Printf("state census     : %v\n", net.Middlebox.StateCensus())
 	}
 }

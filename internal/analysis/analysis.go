@@ -82,6 +82,10 @@ func DefaultConfig() *Config {
 		Deterministic: []string{
 			"sim", "tcp", "queue", "core", "link", "topology",
 			"workload", "markov", "tfrc", "metrics", "packet", "capture",
+			// obs is deterministic by construction (timestamps are
+			// caller-supplied sim.Time); its obshttp subpackage serves
+			// the wall-clock emu engine and is deliberately excluded.
+			"obs",
 			// Analyzer fixtures under internal/analysis/testdata/src.
 			// Wildcard patterns never expand into testdata, so these
 			// only match when a fixture is named explicitly, e.g.

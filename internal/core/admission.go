@@ -1,6 +1,7 @@
 package core
 
 import (
+	"taq/internal/obs"
 	"taq/internal/packet"
 	"taq/internal/sim"
 )
@@ -29,6 +30,9 @@ type admission struct {
 	// lastForceAdmit paces Twait-guaranteed admissions to one pool
 	// per Twait while the loss rate stays above the threshold.
 	lastForceAdmit sim.Time
+	// rec, when non-nil, receives AdmissionDecision trace events
+	// (installed via TAQ.SetRecorder).
+	rec *obs.Recorder
 }
 
 func newAdmission(run sim.Runner, cfg Config, stats *Stats) *admission {
@@ -64,14 +68,17 @@ func (a *admission) allowSyn(pool packet.PoolID, lossRate float64) bool {
 		// overload rather than opening the floodgates.
 		a.lastForceAdmit = now
 		a.admit(pool, pi)
+		a.rec.AdmissionDecision(now, pool, obs.AdmissionForced)
 		return true
 	case headOfLine && lossRate < a.threshold():
 		// Loss is low and this pool is next in line (or nobody waits).
 		a.admit(pool, pi)
+		a.rec.AdmissionDecision(now, pool, obs.AdmissionAdmitted)
 		return true
 	default:
 		a.enqueueWaiting(pool)
 		pi.waited = true
+		a.rec.AdmissionDecision(now, pool, obs.AdmissionBlocked)
 		return false
 	}
 }

@@ -1,0 +1,86 @@
+package core
+
+import "strconv"
+
+// classFieldSuffix returns the lowercase per-class field suffix used by
+// Fields ("recovery", "newflow", ...). Kept literal so field names stay
+// stable even if Class.String ever changes casing.
+func classFieldSuffix(c Class) string {
+	switch c {
+	case ClassRecovery:
+		return "recovery"
+	case ClassNewFlow:
+		return "newflow"
+	case ClassOverPenalized:
+		return "overpenalized"
+	case ClassBelowFair:
+		return "belowfair"
+	case ClassAboveFair:
+		return "abovefair"
+	default:
+		return "unknown"
+	}
+}
+
+// Snapshot returns a copy of the counters. Stats holds no references,
+// so plain assignment is already a deep copy; the method names the
+// intent at call sites that keep a baseline for later Delta.
+func (s Stats) Snapshot() Stats { return s }
+
+// Delta returns the counter differences s - prev, for per-interval
+// reporting from cumulative counters.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.Arrivals -= prev.Arrivals
+	d.Drops -= prev.Drops
+	d.Served -= prev.Served
+	d.SynsBlocked -= prev.SynsBlocked
+	d.PoolsAdmitted -= prev.PoolsAdmitted
+	d.PoolsWaited -= prev.PoolsWaited
+	for i := range d.DropsByClass {
+		d.DropsByClass[i] -= prev.DropsByClass[i]
+		d.ServedByClass[i] -= prev.ServedByClass[i]
+	}
+	return d
+}
+
+// Fields returns the counters as parallel (name, value) slices in a
+// stable, documented order — the single source of truth for CLI and
+// telemetry output, instead of ad-hoc struct prints that drift.
+func (s Stats) Fields() ([]string, []uint64) {
+	names := make([]string, 0, 6+2*numClasses)
+	values := make([]uint64, 0, 6+2*numClasses)
+	add := func(n string, v uint64) {
+		names = append(names, n)
+		values = append(values, v)
+	}
+	add("arrivals", s.Arrivals)
+	add("drops", s.Drops)
+	for c := 0; c < numClasses; c++ {
+		add("drops_"+classFieldSuffix(Class(c)), s.DropsByClass[c])
+	}
+	add("served", s.Served)
+	for c := 0; c < numClasses; c++ {
+		add("served_"+classFieldSuffix(Class(c)), s.ServedByClass[c])
+	}
+	add("syns_blocked", s.SynsBlocked)
+	add("pools_admitted", s.PoolsAdmitted)
+	add("pools_waited", s.PoolsWaited)
+	return names, values
+}
+
+// String renders the counters as space-separated name=value pairs in
+// Fields order.
+func (s Stats) String() string {
+	names, values := s.Fields()
+	var b []byte
+	for i, n := range names {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, n...)
+		b = append(b, '=')
+		b = strconv.AppendUint(b, values[i], 10)
+	}
+	return string(b)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"taq/internal/link"
+	"taq/internal/obs"
 	"taq/internal/packet"
 	"taq/internal/queue"
 	"taq/internal/sim"
@@ -30,6 +31,13 @@ type TAQ struct {
 	winStart         sim.Time
 	winArr, winDrop  uint64
 	prevArr, prevDrp uint64
+	// lossEWMA smooths the per-window loss rate for the telemetry
+	// gauges (the windowed LossRate stays the admission-control input).
+	lossEWMA float64
+
+	// rec, when non-nil, receives class-specific trace events (drops
+	// with victim class, class changes, tracker and admission events).
+	rec *obs.Recorder
 
 	// Cached fair share (bits/second per flow), refreshed by the scan;
 	// invEpochSum weights the proportional fairness model;
@@ -54,6 +62,16 @@ func New(run sim.Runner, cfg Config) *TAQ {
 	t.fairShare = float64(cfg.Rate)
 	t.winStart = run.Now()
 	return t
+}
+
+// SetRecorder installs a trace recorder on the middlebox, the tracker
+// and the admission controller. A nil recorder (the default) disables
+// tracing; every emission site guards on it, so the disabled path costs
+// one branch and zero allocations.
+func (t *TAQ) SetRecorder(rec *obs.Recorder) {
+	t.rec = rec
+	t.tracker.rec = rec
+	t.adm.rec = rec
 }
 
 // Start schedules the periodic scan. Safe to call once.
@@ -100,6 +118,11 @@ func (t *TAQ) scan() {
 	}
 	now := t.run.Now()
 	if now-t.winStart >= t.cfg.LossWindow {
+		var rate float64
+		if t.winArr > 0 {
+			rate = float64(t.winDrop) / float64(t.winArr)
+		}
+		t.lossEWMA = 0.875*t.lossEWMA + 0.125*rate
 		t.prevArr, t.prevDrp = t.winArr, t.winDrop
 		t.winArr, t.winDrop = 0, 0
 		t.winStart = now
@@ -119,11 +142,24 @@ func (t *TAQ) LossRate() float64 {
 	return float64(t.winDrop+t.prevDrp) / float64(arr)
 }
 
+// LossEWMA returns the smoothed loss rate, updated once per loss
+// window — the telemetry-facing companion of LossRate.
+func (t *TAQ) LossEWMA() float64 { return t.lossEWMA }
+
 // FairShare returns the cached per-flow fair share in bits/second.
 func (t *TAQ) FairShare() float64 { return t.fairShare }
 
 // ActiveFlows returns the tracker's current active flow count.
 func (t *TAQ) ActiveFlows() int { return t.tracker.activeFlows() }
+
+// RecoveringFlows returns the number of tracked flows currently in a
+// loss-recovery or timeout state — the population the paper's fairness
+// argument protects.
+func (t *TAQ) RecoveringFlows() int {
+	c := t.tracker.stateCensus()
+	return c[StateLossRecovery] + c[StateTimeoutSilence] +
+		c[StateTimeoutRecovery] + c[StateExtendedSilence]
+}
 
 // StateCensus returns the number of tracked flows per approximate
 // state — the middlebox-side view used in the flow-evolution analysis.
@@ -219,6 +255,10 @@ func (t *TAQ) Enqueue(p *packet.Packet) {
 	}
 
 	class := t.classify(p, f, rtx)
+	if t.rec != nil && int8(class) != f.lastClass {
+		t.rec.ClassChange(t.run.Now(), p, f.lastClass, int8(class))
+	}
+	f.lastClass = int8(class)
 	switch class {
 	case ClassRecovery:
 		silence := f.lastSilence
@@ -313,6 +353,9 @@ func (t *TAQ) dropPacket(p *packet.Packet, class Class, rtx bool) {
 	t.Stats.Drops++
 	t.Stats.DropsByClass[class]++
 	t.winDrop++
+	if t.rec != nil {
+		t.rec.Drop(t.run.Now(), p, int8(class), rtx)
+	}
 	t.tracker.recordDrop(p, rtx)
 	t.Drop(p)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"taq/internal/obs"
 	"taq/internal/packet"
 	"taq/internal/sim"
 )
@@ -123,6 +124,11 @@ type flowInfo struct {
 
 	// rateEWMA estimates the flow's throughput in bits/second.
 	rateEWMA float64
+
+	// lastClass is the TAQ class the flow's previous packet was
+	// assigned (-1 before the first classification), so class-change
+	// trace events fire only on actual changes.
+	lastClass int8
 }
 
 // roll advances the flow's epoch counters to cover time now, possibly
@@ -154,6 +160,9 @@ type tracker struct {
 	cfg   Config
 	run   sim.Runner
 	flows map[packet.FlowID]*flowInfo
+	// rec, when non-nil, receives TrackerTransition/TimeoutDetected
+	// events from setState (installed via TAQ.SetRecorder).
+	rec *obs.Recorder
 }
 
 func newTracker(run sim.Runner, cfg Config) *tracker {
@@ -170,10 +179,28 @@ func (t *tracker) getOrCreate(p *packet.Packet) *flowInfo {
 			id: p.Flow, pool: p.Pool, state: StateNew,
 			created: now, synAt: now, epoch: t.cfg.DefaultEpoch,
 			epochStart: now, lastPkt: now, highSeq: -1, sampleSeq: -1,
+			lastClass: -1,
 		}
 		t.flows[p.Flow] = f
 	}
 	return f
+}
+
+// setState moves f to state s, emitting the tracker trace events. A
+// transition into a silence state additionally emits TimeoutDetected —
+// the middlebox concluding the sender is waiting out an RTO.
+func (t *tracker) setState(f *flowInfo, s FlowState) {
+	if f.state == s {
+		return
+	}
+	if t.rec != nil {
+		now := t.run.Now()
+		t.rec.TrackerTransition(now, f.id, f.pool, int8(f.state), int8(s))
+		if s == StateTimeoutSilence || s == StateExtendedSilence {
+			t.rec.TimeoutDetected(now, f.id, f.pool, int8(f.state), int8(s))
+		}
+	}
+	f.state = s
 }
 
 // observe processes an arriving packet (before any drop decision) and
@@ -197,7 +224,7 @@ func (t *tracker) observe(p *packet.Packet) (f *flowInfo, rtx bool) {
 			// SYN retry of a flow we have data state for: ignore.
 			break
 		}
-		f.state = StateNew
+		t.setState(f, StateNew)
 	case packet.Data:
 		rtx = f.gotData && p.Seq <= f.highSeq
 		if !f.gotData {
@@ -241,13 +268,13 @@ func (t *tracker) observe(p *packet.Packet) (f *flowInfo, rtx bool) {
 func (t *tracker) transition(f *flowInfo, rtx bool, silence sim.Time) {
 	switch f.state {
 	case StateNew:
-		f.state = StateSlowStart
+		t.setState(f, StateSlowStart)
 	case StateTimeoutSilence, StateExtendedSilence:
 		if rtx {
-			f.state = StateTimeoutRecovery
+			t.setState(f, StateTimeoutRecovery)
 		} else {
 			// New data after silence: sender restarted cleanly.
-			f.state = StateSlowStart
+			t.setState(f, StateSlowStart)
 			f.outstandingDrops = 0
 			f.protectEpochs = 2
 		}
@@ -258,7 +285,7 @@ func (t *tracker) transition(f *flowInfo, rtx bool, silence sim.Time) {
 			}
 		} else {
 			// New data past the loss point: recovered to slow start.
-			f.state = StateSlowStart
+			t.setState(f, StateSlowStart)
 			f.outstandingDrops = 0
 			f.lastSilence = 0
 			f.protectEpochs = 2
@@ -269,7 +296,7 @@ func (t *tracker) transition(f *flowInfo, rtx bool, silence sim.Time) {
 				f.outstandingDrops--
 			}
 		} else if f.outstandingDrops == 0 {
-			f.state = StateNormal
+			t.setState(f, StateNormal)
 			f.lastSilence = 0
 			f.protectEpochs = 2
 		}
@@ -278,13 +305,13 @@ func (t *tracker) transition(f *flowInfo, rtx bool, silence sim.Time) {
 		case rtx:
 			// A retransmission we did not cause: external loss or a
 			// timeout we missed.
-			f.state = StateLossRecovery
+			t.setState(f, StateLossRecovery)
 		case f.state == StateIdleSilence:
-			f.state = StateNormal
+			t.setState(f, StateNormal)
 		case f.state == StateSlowStart && f.epochs >= 1 &&
 			f.prevNewPkts > 0 && f.newPkts <= f.prevNewPkts+1:
 			// Growth flattened out: slow start is over.
-			f.state = StateNormal
+			t.setState(f, StateNormal)
 		}
 	}
 }
@@ -352,19 +379,19 @@ func (t *tracker) recordDrop(p *packet.Packet, rtx bool) {
 	switch {
 	case p.Kind == packet.Syn:
 		// The sender will retry the SYN after its handshake timer.
-		f.state = StateNew
+		t.setState(f, StateNew)
 	case rtx:
 		// Dropping a retransmission forces an RTO (§4.1): the flow
 		// enters a timeout silence, possibly a repetitive one.
 		if f.state == StateTimeoutRecovery || f.state == StateExtendedSilence {
-			f.state = StateExtendedSilence
+			t.setState(f, StateExtendedSilence)
 		} else {
-			f.state = StateTimeoutSilence
+			t.setState(f, StateTimeoutSilence)
 		}
 		f.silenceStart = now
 	default:
 		if f.state == StateNormal || f.state == StateSlowStart || f.state == StateIdleSilence {
-			f.state = StateLossRecovery
+			t.setState(f, StateLossRecovery)
 		}
 	}
 }
@@ -399,25 +426,25 @@ func (t *tracker) scan() {
 				// Expected retransmissions never came: the sender is
 				// waiting out an RTO.
 				if f.state == StateTimeoutRecovery {
-					f.state = StateExtendedSilence
+					t.setState(f, StateExtendedSilence)
 				} else {
-					f.state = StateTimeoutSilence
+					t.setState(f, StateTimeoutSilence)
 				}
 				f.silenceStart = f.lastPkt
 			} else if silent > f.epoch*3 {
-				f.state = StateIdleSilence
+				t.setState(f, StateIdleSilence)
 			}
 		case StateTimeoutSilence:
 			if now-f.silenceStart > 3*f.epoch {
-				f.state = StateExtendedSilence
+				t.setState(f, StateExtendedSilence)
 			}
 		case StateNormal, StateSlowStart:
 			if silent > f.epoch*3/2 {
 				if f.outstandingDrops > 0 {
-					f.state = StateTimeoutSilence
+					t.setState(f, StateTimeoutSilence)
 					f.silenceStart = f.lastPkt
 				} else {
-					f.state = StateIdleSilence
+					t.setState(f, StateIdleSilence)
 				}
 			}
 		}

@@ -4,6 +4,8 @@ import (
 	"taq/internal/core"
 	"taq/internal/link"
 	"taq/internal/metrics"
+	"taq/internal/obs"
+	"taq/internal/obs/obshttp"
 	"taq/internal/packet"
 	"taq/internal/queue"
 	"taq/internal/sim"
@@ -30,6 +32,19 @@ type TestbedConfig struct {
 	TCP tcp.Config
 	// SliceWidth for fairness metrics (default 20 s).
 	SliceWidth sim.Time
+
+	// Events, when non-nil, receives the structured bottleneck trace
+	// (recorded under the engine lock; Stop flushes it).
+	Events *obs.Recorder
+	// GaugeSink, when non-nil, receives periodic gauge samples every
+	// GaugeInterval of virtual time (default one virtual second).
+	GaugeSink     obs.SeriesSink
+	GaugeInterval sim.Time
+	// HTTPAddr, when non-empty, serves the live introspection endpoint
+	// (gauge snapshot + pprof) on that address, e.g. "127.0.0.1:0".
+	// This is strictly an emu-side feature: the discrete-event path
+	// never starts a listener.
+	HTTPAddr string
 }
 
 func (c *TestbedConfig) fillDefaults() {
@@ -62,6 +77,13 @@ type Testbed struct {
 	Link      *link.Link
 	Middlebox *core.TAQ
 	Slicer    *metrics.Slicer
+	// Gauges is the sampled time series (non-nil when GaugeSink or
+	// HTTPAddr is configured).
+	Gauges *obs.GaugeSet
+	// HTTP is the live introspection server (non-nil when HTTPAddr was
+	// set and the listener started); HTTPErr records a failed start.
+	HTTP    *obshttp.Server
+	HTTPErr error
 
 	flows  map[packet.FlowID]*tbFlow
 	nextID packet.FlowID
@@ -102,9 +124,43 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		} else {
 			disc = queue.NewDropTail(cfg.BufferPackets)
 		}
-		disc.SetDropHook(func(*packet.Packet) { t.QueueDrops++ })
+		disc.AddDropHook(func(*packet.Packet) { t.QueueDrops++ })
 		t.Link = link.New(t.Engine, cfg.Bandwidth, 0, disc, t.deliver)
+		if cfg.Events != nil {
+			t.Link.SetRecorder(cfg.Events)
+			if t.Middlebox != nil {
+				t.Middlebox.SetRecorder(cfg.Events)
+			} else {
+				disc.AddDropHook(func(p *packet.Packet) {
+					cfg.Events.Drop(t.Engine.Now(), p, -1, p.Retransmit)
+				})
+			}
+		}
+		if cfg.GaugeSink != nil || cfg.HTTPAddr != "" {
+			t.Gauges = obs.NewGaugeSet(t.Engine, cfg.GaugeInterval, cfg.GaugeSink)
+			t.Gauges.RegisterInt("qlen", disc.Len)
+			t.Gauges.RegisterInt("qbytes", disc.Bytes)
+			t.Gauges.Register("arrivals", func() float64 { return float64(t.QueueArrivals) })
+			t.Gauges.Register("drops", func() float64 { return float64(t.QueueDrops) })
+			if mb := t.Middlebox; mb != nil {
+				t.Gauges.RegisterInt("active_flows", mb.ActiveFlows)
+				t.Gauges.RegisterInt("recovering_flows", mb.RecoveringFlows)
+				t.Gauges.Register("loss_ewma", mb.LossEWMA)
+				t.Gauges.RegisterInt("waiting_pools", mb.WaitingPools)
+			}
+			if cfg.GaugeSink != nil {
+				t.Gauges.Start()
+			}
+		}
 	})
+	if cfg.HTTPAddr != "" {
+		// The snapshot callback runs on HTTP goroutines; Post serializes
+		// the gauge reads against the engine's callbacks.
+		t.HTTP, t.HTTPErr = obshttp.Serve(cfg.HTTPAddr, func() (names []string, values []float64) {
+			t.Engine.Post(func() { names, values = t.Gauges.Snapshot() })
+			return names, values
+		})
+	}
 	return t
 }
 
@@ -201,8 +257,16 @@ func (t *Testbed) AddSizedFlow(pool packet.PoolID, segs int, onComplete, onFail 
 // the calling goroutine in wall time).
 func (t *Testbed) RunFor(virtual sim.Time) { t.Engine.RunFor(virtual) }
 
-// Stop halts all activity.
-func (t *Testbed) Stop() { t.Engine.Stop() }
+// Stop halts all activity, flushes the trace recorder and gauge sink,
+// and closes the live endpoint.
+func (t *Testbed) Stop() {
+	t.Engine.Post(func() {
+		t.Gauges.Stop()
+		t.Cfg.Events.Flush()
+	})
+	t.Engine.Stop()
+	t.HTTP.Close()
+}
 
 // Snapshot runs fn serialized against the scenario so it can safely
 // read Slicer, Link and counter state.

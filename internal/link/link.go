@@ -5,6 +5,7 @@
 package link
 
 import (
+	"taq/internal/obs"
 	"taq/internal/packet"
 	"taq/internal/queue"
 	"taq/internal/sim"
@@ -37,6 +38,7 @@ type Link struct {
 	disc    queue.Discipline
 	busy    bool
 	deliver func(*packet.Packet)
+	rec     *obs.Recorder
 
 	// Stats.
 	SentPackets  uint64
@@ -54,6 +56,12 @@ func New(run sim.Runner, rate Bps, delay sim.Time, disc queue.Discipline, delive
 // Discipline returns the queue discipline, e.g. for stats.
 func (l *Link) Discipline() queue.Discipline { return l.disc }
 
+// SetRecorder installs a trace recorder. The link is the chokepoint
+// every discipline's traffic flows through, so it records the generic
+// enqueue/dequeue lifecycle (class -1); TAQ adds its class-specific
+// events itself. A nil recorder (the default) disables tracing.
+func (l *Link) SetRecorder(rec *obs.Recorder) { l.rec = rec }
+
 // Rate returns the link rate.
 func (l *Link) Rate() Bps { return l.rate }
 
@@ -61,6 +69,9 @@ func (l *Link) Rate() Bps { return l.rate }
 // link is idle. Drops are reported through the discipline's drop hook.
 func (l *Link) Enqueue(p *packet.Packet) {
 	p.Enqueued = l.run.Now()
+	if l.rec != nil {
+		l.rec.Enqueue(p.Enqueued, p, -1)
+	}
 	l.disc.Enqueue(p)
 	l.pump()
 }
@@ -72,6 +83,9 @@ func (l *Link) pump() {
 	p := l.disc.Dequeue()
 	if p == nil {
 		return
+	}
+	if l.rec != nil {
+		l.rec.Dequeue(l.run.Now(), p, -1)
 	}
 	l.busy = true
 	tx := l.rate.TxTime(p.Size)

@@ -1,0 +1,122 @@
+// Package obs is the observability layer shared by the discrete-event
+// simulator and the real-time prototype engine: a structured
+// event-tracing Recorder (packet lifecycle, tracker transitions,
+// admission decisions) plus periodic time-series gauges, both designed
+// so that a disabled recorder costs a single predictable branch and
+// zero allocations on the per-packet hot path.
+//
+// Determinism contract: obs itself never reads a clock — every event
+// carries a sim.Time supplied by the caller — so with the discrete-event
+// engine the same seed produces a byte-identical event stream whatever
+// the host, worker count, or map layout. Events are fixed-size values
+// written into a preallocated ring; the JSONL encoder uses strconv
+// only, no maps, no reflection.
+//
+// The live HTTP introspection endpoint for the real-time engine lives
+// in the obshttp subpackage, which is deliberately outside taqvet's
+// deterministic set — nothing in this package may import it.
+package obs
+
+import (
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// Event kinds, in the order they appear in the packet lifecycle.
+const (
+	// KindEnqueue: a packet was offered to the bottleneck queue.
+	KindEnqueue Kind = iota
+	// KindDequeue: a packet left the queue onto the link.
+	KindDequeue
+	// KindDrop: the discipline dropped a packet (the arriving one or a
+	// queued victim); Class is the victim's TAQ class, -1 for baseline
+	// disciplines, and Flag is 1 when the victim was a retransmission.
+	KindDrop
+	// KindTrackerTransition: the TAQ flow tracker moved a flow between
+	// approximate TCP states (Fig 7); From/To are core.FlowState codes.
+	KindTrackerTransition
+	// KindTimeoutDetected: the tracker concluded a flow entered a
+	// timeout (or repetitive-timeout) silence; emitted alongside the
+	// transition into the silence state.
+	KindTimeoutDetected
+	// KindAdmissionDecision: §4.3 admission control ruled on a pool's
+	// SYN; Flag is one of AdmissionBlocked/AdmissionAdmitted/
+	// AdmissionForced.
+	KindAdmissionDecision
+	// KindClassChange: TAQ classified a flow's packet into a different
+	// class than the flow's previous packet; From/To are core.Class
+	// codes (From -1 on the first classification).
+	KindClassChange
+
+	numKinds = int(KindClassChange) + 1
+)
+
+// String implements fmt.Stringer with stable snake_case labels (these
+// are the "ev" values of the JSONL schema; see docs/observability.md).
+func (k Kind) String() string {
+	switch k {
+	case KindEnqueue:
+		return "enqueue"
+	case KindDequeue:
+		return "dequeue"
+	case KindDrop:
+		return "drop"
+	case KindTrackerTransition:
+		return "tracker_transition"
+	case KindTimeoutDetected:
+		return "timeout_detected"
+	case KindAdmissionDecision:
+		return "admission_decision"
+	case KindClassChange:
+		return "class_change"
+	default:
+		return "unknown"
+	}
+}
+
+// Admission decision codes carried in Event.Flag.
+const (
+	// AdmissionBlocked: the SYN was refused and the pool queued.
+	AdmissionBlocked uint8 = iota
+	// AdmissionAdmitted: the pool was admitted below the loss
+	// threshold.
+	AdmissionAdmitted
+	// AdmissionForced: the pool was admitted by the Twait guarantee
+	// despite the loss rate.
+	AdmissionForced
+)
+
+// Event is one trace record. It is a fixed-size value with no pointers:
+// recording copies fields into a preallocated ring slot, so a hot
+// enqueue/dequeue path with tracing enabled still allocates nothing.
+type Event struct {
+	// Time is the virtual timestamp supplied by the caller (sim.Time
+	// under the discrete-event engine; scaled wall time under emu).
+	Time sim.Time
+	// Kind selects which of the remaining fields are meaningful.
+	Kind Kind
+	// Pkt is the packet's wire kind for packet-carrying events.
+	Pkt packet.Kind
+	// Class is the TAQ class involved (assigned class on enqueue/
+	// dequeue, victim class on drop), -1 when unknown.
+	Class int8
+	// From and To are state codes on tracker events and class codes on
+	// class changes; -1 when absent.
+	From, To int8
+	// Flag is kind-specific: retransmission bit on drops, admission
+	// decision code on admission events.
+	Flag uint8
+	// Flow and Pool identify the subject flow; Pool is packet.PoolNone
+	// for unpooled flows.
+	Flow packet.FlowID
+	// Pool is the flow-pool (admission/session) identifier.
+	Pool packet.PoolID
+	// Seq is the packet's segment sequence, -1 when absent.
+	Seq int32
+	// Size is the packet's wire size in bytes, 0 when no packet is
+	// attached.
+	Size int32
+}

@@ -1,0 +1,85 @@
+// Package obshttp serves live introspection for the real-time engine:
+// an expvar-style JSON snapshot of the observability gauges plus the
+// standard net/http/pprof profiling handlers, on an opt-in listener.
+//
+// This package is deliberately outside taqvet's deterministic set — it
+// exists only for the wall-clock prototype (internal/emu) and must
+// never be imported by the discrete-event path. The snapshot callback
+// it is given is invoked on HTTP-serving goroutines; callers that read
+// engine-owned state must serialize it themselves (internal/emu does so
+// by posting the read onto the engine).
+package obshttp
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Snapshot produces the current gauge names and values, in a stable
+// order. It is called once per /vars request, possibly concurrently
+// with the engine — implementations must provide their own
+// serialization (see obs.GaugeSet.Snapshot and emu.Engine.Post).
+type Snapshot func() (names []string, values []float64)
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (e.g. "127.0.0.1:0") exposing
+//
+//	/vars          — JSON object of gauge name → value
+//	/debug/pprof/  — the net/http/pprof handlers
+//
+// The pprof handlers are registered explicitly on a private mux so
+// importing this package never touches http.DefaultServeMux.
+func Serve(addr string, snapshot Snapshot) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		names, values := snapshot()
+		buf := []byte{'{'}
+		for i, n := range names {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendQuote(buf, n)
+			buf = append(buf, ':')
+			buf = strconv.AppendFloat(buf, values[i], 'g', -1, 64)
+		}
+		buf = append(buf, '}', '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the listener down. Safe on a nil receiver.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

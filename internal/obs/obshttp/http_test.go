@@ -1,0 +1,51 @@
+package obshttp
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeVarsAndPprof(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func() ([]string, []float64) {
+		return []string{"qlen", "loss_ewma"}, []float64{12, 0.125}
+	})
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/vars")
+	if err != nil {
+		t.Fatalf("GET /vars: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := `{"qlen":12,"loss_ewma":0.125}` + "\n"
+	if string(body) != want {
+		t.Fatalf("/vars = %q, want %q", body, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}
+
+func TestNilServerSafe(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatal("nil Addr not empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// Recorder collects trace events through a fixed-size ring buffer.
+//
+// Two modes, chosen by the sink:
+//
+//   - sink == nil: flight-recorder mode. The ring wraps, overwriting
+//     the oldest event and counting each overwrite in Dropped; Events
+//     returns the retained tail. This is the zero-IO mode tests and
+//     the live endpoint use.
+//   - sink != nil: streaming mode. The ring is a linear batch that is
+//     handed to the sink whenever it fills (and on Flush/Close). A
+//     sink error is sticky: subsequent events are discarded and
+//     counted in Dropped, and the error is returned by Flush/Close.
+//
+// The nil *Recorder is the disabled state: every recording method is a
+// valid call on a nil receiver and returns immediately, so
+// instrumentation sites pay one branch and zero allocations when
+// tracing is off. Callers that would compute event arguments (e.g.
+// read a clock) should additionally guard with `if rec != nil` so the
+// argument evaluation itself is skipped.
+//
+// A Recorder is driven from a single sim.Runner and needs no locking,
+// matching the concurrency contract of the disciplines it instruments.
+type Recorder struct {
+	ring  []Event
+	start int // oldest event (flight-recorder mode; always 0 when streaming)
+	n     int // events currently in the ring
+	sink  Sink
+	err   error
+
+	// Dropped counts events lost to ring overwrites (flight-recorder
+	// mode) or discarded after a sink error (streaming mode).
+	Dropped uint64
+	// Recorded counts every event accepted, including later-dropped
+	// ones.
+	Recorded uint64
+}
+
+// DefaultRingSize is the ring capacity used when NewRecorder is given
+// a non-positive size.
+const DefaultRingSize = 4096
+
+// NewRecorder returns a recorder writing through a ring of ringSize
+// events to sink. A nil sink selects flight-recorder mode (the ring
+// retains the most recent ringSize events).
+func NewRecorder(sink Sink, ringSize int) *Recorder {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Recorder{ring: make([]Event, ringSize), sink: sink}
+}
+
+// record places ev in the ring, flushing or wrapping on overflow.
+func (r *Recorder) record(ev Event) {
+	r.Recorded++
+	if r.err != nil {
+		r.Dropped++
+		return
+	}
+	if r.sink == nil {
+		if r.n == len(r.ring) {
+			// Wrap: overwrite the oldest retained event.
+			r.ring[r.start] = ev
+			r.start++
+			if r.start == len(r.ring) {
+				r.start = 0
+			}
+			r.Dropped++
+			return
+		}
+		i := r.start + r.n
+		if i >= len(r.ring) {
+			i -= len(r.ring)
+		}
+		r.ring[i] = ev
+		r.n++
+		return
+	}
+	r.ring[r.n] = ev
+	r.n++
+	if r.n == len(r.ring) {
+		r.flush()
+	}
+}
+
+// flush hands the current batch to the sink (streaming mode only).
+func (r *Recorder) flush() {
+	if r.n == 0 || r.sink == nil || r.err != nil {
+		return
+	}
+	if err := r.sink.WriteEvents(r.ring[:r.n]); err != nil {
+		r.err = err
+	}
+	r.n = 0
+}
+
+// Flush writes any buffered events to the sink and returns the sticky
+// sink error, if one occurred. A no-op in flight-recorder mode.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.flush()
+	return r.err
+}
+
+// Close flushes and closes the sink. Safe on a nil receiver.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.flush()
+	if r.sink != nil {
+		if err := r.sink.Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	return r.err
+}
+
+// Len returns the number of events currently held in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Events returns the retained events oldest-first (flight-recorder
+// mode; in streaming mode, the batch not yet flushed). The slice is
+// freshly allocated — intended for tests and snapshots, not hot paths.
+func (r *Recorder) Events() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		j := r.start + i
+		if j >= len(r.ring) {
+			j -= len(r.ring)
+		}
+		out[i] = r.ring[j]
+	}
+	return out
+}
+
+// Enqueue records a packet being offered to the bottleneck queue.
+// class is the assigned TAQ class, -1 when the discipline has none.
+func (r *Recorder) Enqueue(now sim.Time, p *packet.Packet, class int8) {
+	if r == nil {
+		return
+	}
+	r.record(Event{
+		Time: now, Kind: KindEnqueue, Pkt: p.Kind, Class: class,
+		From: -1, To: -1, Flow: p.Flow, Pool: p.Pool,
+		Seq: int32(p.Seq), Size: int32(p.Size),
+	})
+}
+
+// Dequeue records a packet leaving the queue onto the link.
+func (r *Recorder) Dequeue(now sim.Time, p *packet.Packet, class int8) {
+	if r == nil {
+		return
+	}
+	r.record(Event{
+		Time: now, Kind: KindDequeue, Pkt: p.Kind, Class: class,
+		From: -1, To: -1, Flow: p.Flow, Pool: p.Pool,
+		Seq: int32(p.Seq), Size: int32(p.Size),
+	})
+}
+
+// Drop records a packet drop. class is the victim's TAQ class (-1 for
+// baseline disciplines); rtx marks a dropped retransmission — the §4.1
+// event that forces a timeout.
+func (r *Recorder) Drop(now sim.Time, p *packet.Packet, class int8, rtx bool) {
+	if r == nil {
+		return
+	}
+	var flag uint8
+	if rtx {
+		flag = 1
+	}
+	r.record(Event{
+		Time: now, Kind: KindDrop, Pkt: p.Kind, Class: class, Flag: flag,
+		From: -1, To: -1, Flow: p.Flow, Pool: p.Pool,
+		Seq: int32(p.Seq), Size: int32(p.Size),
+	})
+}
+
+// TrackerTransition records the flow tracker moving flow between
+// approximate states (codes are core.FlowState values).
+func (r *Recorder) TrackerTransition(now sim.Time, flow packet.FlowID, pool packet.PoolID, from, to int8) {
+	if r == nil {
+		return
+	}
+	r.record(Event{
+		Time: now, Kind: KindTrackerTransition, Class: -1,
+		From: from, To: to, Flow: flow, Pool: pool, Seq: -1,
+	})
+}
+
+// TimeoutDetected records the tracker concluding a flow entered a
+// timeout (or repetitive-timeout) silence.
+func (r *Recorder) TimeoutDetected(now sim.Time, flow packet.FlowID, pool packet.PoolID, from, to int8) {
+	if r == nil {
+		return
+	}
+	r.record(Event{
+		Time: now, Kind: KindTimeoutDetected, Class: -1,
+		From: from, To: to, Flow: flow, Pool: pool, Seq: -1,
+	})
+}
+
+// AdmissionDecision records an admission-control ruling on a pool's
+// SYN; decision is AdmissionBlocked, AdmissionAdmitted or
+// AdmissionForced.
+func (r *Recorder) AdmissionDecision(now sim.Time, pool packet.PoolID, decision uint8) {
+	if r == nil {
+		return
+	}
+	r.record(Event{
+		Time: now, Kind: KindAdmissionDecision, Class: -1, Flag: decision,
+		From: -1, To: -1, Flow: -1, Pool: pool, Seq: -1,
+	})
+}
+
+// ClassChange records TAQ classifying a flow's packet into a different
+// class than its previous packet (codes are core.Class values; from is
+// -1 on the flow's first classification).
+func (r *Recorder) ClassChange(now sim.Time, p *packet.Packet, from, to int8) {
+	if r == nil {
+		return
+	}
+	r.record(Event{
+		Time: now, Kind: KindClassChange, Pkt: p.Kind, Class: to,
+		From: from, To: to, Flow: p.Flow, Pool: p.Pool,
+		Seq: int32(p.Seq), Size: int32(p.Size),
+	})
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+
+	"taq/internal/packet"
+)
+
+// Sink consumes event batches from a Recorder. WriteEvents is called
+// with a full ring (or the final partial batch on Flush/Close); the
+// slice is reused by the recorder and must not be retained.
+type Sink interface {
+	WriteEvents(batch []Event) error
+	Close() error
+}
+
+// NullSink discards every batch, counting events. It measures tracing
+// overhead with the IO removed.
+type NullSink struct {
+	// Events is the number of events discarded.
+	Events uint64
+}
+
+// WriteEvents implements Sink.
+func (s *NullSink) WriteEvents(batch []Event) error {
+	s.Events += uint64(len(batch))
+	return nil
+}
+
+// Close implements Sink.
+func (s *NullSink) Close() error { return nil }
+
+// MemorySink retains every event, for tests and in-process analyses.
+type MemorySink struct {
+	// Events accumulates all batches in arrival order.
+	Events []Event
+}
+
+// WriteEvents implements Sink.
+func (s *MemorySink) WriteEvents(batch []Event) error {
+	s.Events = append(s.Events, batch...)
+	return nil
+}
+
+// Close implements Sink.
+func (s *MemorySink) Close() error { return nil }
+
+// JSONLSink renders one JSON object per event, one event per line, in
+// a fixed key order with strconv-only encoding — so the byte stream of
+// a deterministic run is itself deterministic. Lines are buffered per
+// batch and written with a single Write; the sink never closes the
+// underlying writer (the caller owns the file).
+type JSONLSink struct {
+	w   io.Writer
+	buf []byte
+
+	// ClassName, when set, renders Class/From/To codes of class-typed
+	// events as labels (e.g. core.Class names); codes print numerically
+	// otherwise. StateName does the same for tracker-state codes.
+	ClassName func(int8) string
+	StateName func(int8) string
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// WriteEvents implements Sink.
+func (s *JSONLSink) WriteEvents(batch []Event) error {
+	s.buf = s.buf[:0]
+	for i := range batch {
+		s.buf = s.appendEvent(s.buf, &batch[i])
+	}
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Close implements Sink. The underlying writer is left open.
+func (s *JSONLSink) Close() error { return nil }
+
+// label renders a small code through fn, or numerically when fn is nil
+// or the code is out of label range.
+func label(b []byte, fn func(int8) string, code int8) []byte {
+	if fn != nil && code >= 0 {
+		b = append(b, '"')
+		b = append(b, fn(code)...)
+		b = append(b, '"')
+		return b
+	}
+	return strconv.AppendInt(b, int64(code), 10)
+}
+
+func appendKey(b []byte, key string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return b
+}
+
+func appendIntField(b []byte, key string, v int64) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendStrField(b []byte, key, v string) []byte {
+	b = appendKey(b, key)
+	b = append(b, '"')
+	b = append(b, v...)
+	return append(b, '"')
+}
+
+// appendEvent renders ev as one JSON line. Key order is fixed:
+// t, ev, then kind-specific fields (see docs/observability.md).
+func (s *JSONLSink) appendEvent(b []byte, ev *Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(ev.Time), 10)
+	b = appendStrField(b, "ev", ev.Kind.String())
+	switch ev.Kind {
+	case KindEnqueue, KindDequeue, KindDrop:
+		b = appendIntField(b, "flow", int64(ev.Flow))
+		if ev.Pool != packet.PoolNone {
+			b = appendIntField(b, "pool", int64(ev.Pool))
+		}
+		b = appendStrField(b, "pkt", ev.Pkt.String())
+		b = appendIntField(b, "seq", int64(ev.Seq))
+		b = appendIntField(b, "size", int64(ev.Size))
+		if ev.Class >= 0 {
+			b = appendKey(b, "class")
+			b = label(b, s.ClassName, ev.Class)
+		}
+		if ev.Kind == KindDrop && ev.Flag != 0 {
+			b = append(b, `,"rtx":true`...)
+		}
+	case KindClassChange:
+		b = appendIntField(b, "flow", int64(ev.Flow))
+		if ev.Pool != packet.PoolNone {
+			b = appendIntField(b, "pool", int64(ev.Pool))
+		}
+		b = appendKey(b, "from")
+		b = label(b, s.ClassName, ev.From)
+		b = appendKey(b, "to")
+		b = label(b, s.ClassName, ev.To)
+	case KindTrackerTransition, KindTimeoutDetected:
+		b = appendIntField(b, "flow", int64(ev.Flow))
+		if ev.Pool != packet.PoolNone {
+			b = appendIntField(b, "pool", int64(ev.Pool))
+		}
+		b = appendKey(b, "from")
+		b = label(b, s.StateName, ev.From)
+		b = appendKey(b, "to")
+		b = label(b, s.StateName, ev.To)
+	case KindAdmissionDecision:
+		b = appendIntField(b, "pool", int64(ev.Pool))
+		switch ev.Flag {
+		case AdmissionAdmitted:
+			b = appendStrField(b, "decision", "admitted")
+		case AdmissionForced:
+			b = appendStrField(b, "decision", "forced")
+		default:
+			b = appendStrField(b, "decision", "blocked")
+		}
+	}
+	return append(b, '}', '\n')
+}

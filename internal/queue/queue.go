@@ -25,23 +25,42 @@ type Discipline interface {
 	Len() int
 	// Bytes returns the total queued bytes.
 	Bytes() int
-	// SetDropHook registers fn to be called for every dropped packet.
+	// SetDropHook registers fn to be called for every dropped packet,
+	// replacing any previously installed hooks.
 	SetDropHook(fn func(*packet.Packet))
+	// AddDropHook registers fn alongside the existing hooks, so stats
+	// accounting and tracing subscribers can coexist. Hooks run in
+	// registration order.
+	AddDropHook(fn func(*packet.Packet))
 }
 
-// DropHook is a helper embedded by disciplines to hold the drop
-// callback.
+// DropHook is a helper embedded by disciplines to hold the chain of
+// drop callbacks.
 type DropHook struct {
-	fn func(*packet.Packet)
+	fns []func(*packet.Packet)
 }
 
-// SetDropHook implements the Discipline method.
-func (h *DropHook) SetDropHook(fn func(*packet.Packet)) { h.fn = fn }
+// SetDropHook implements the Discipline method: it replaces the whole
+// chain with fn.
+func (h *DropHook) SetDropHook(fn func(*packet.Packet)) {
+	h.fns = h.fns[:0]
+	if fn != nil {
+		h.fns = append(h.fns, fn)
+	}
+}
 
-// Drop invokes the hook (if set) for p.
+// AddDropHook implements the Discipline method: it appends fn to the
+// chain.
+func (h *DropHook) AddDropHook(fn func(*packet.Packet)) {
+	if fn != nil {
+		h.fns = append(h.fns, fn)
+	}
+}
+
+// Drop invokes every registered hook for p, in registration order.
 func (h *DropHook) Drop(p *packet.Packet) {
-	if h.fn != nil {
-		h.fn(p)
+	for _, fn := range h.fns {
+		fn(p)
 	}
 }
 

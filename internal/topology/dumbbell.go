@@ -13,6 +13,7 @@ import (
 	"taq/internal/core"
 	"taq/internal/link"
 	"taq/internal/metrics"
+	"taq/internal/obs"
 	"taq/internal/packet"
 	"taq/internal/queue"
 	"taq/internal/sim"
@@ -156,6 +157,12 @@ type Network struct {
 	// Capture, when non-nil (EnableCapture), records per-packet
 	// bottleneck events — the simulator's pcap (§2.3).
 	Capture *capture.Recorder
+	// Events, when non-nil (EnableObservability), receives the
+	// structured trace of bottleneck activity.
+	Events *obs.Recorder
+	// Gauges, when non-nil (EnableGauges), samples the bottleneck
+	// time series; callers Stop it (or Close the network) to flush.
+	Gauges *obs.GaugeSet
 
 	flows  map[packet.FlowID]*Flow
 	nextID packet.FlowID
@@ -207,7 +214,7 @@ func New(cfg Config) (*Network, error) {
 	default:
 		return nil, fmt.Errorf("topology: unknown queue kind %q", cfg.Queue)
 	}
-	disc.SetDropHook(func(p *packet.Packet) {
+	disc.AddDropHook(func(p *packet.Packet) {
 		n.QueueDrops++
 		if n.Capture != nil {
 			n.Capture.Record(n.Engine.Now(), capture.Drop, p)
@@ -243,6 +250,57 @@ func (n *Network) EnableCensus(maxClass int, epoch sim.Time) {
 // and deliveries) — heavy for long runs; meant for trace analyses.
 func (n *Network) EnableCapture() {
 	n.Capture = &capture.Recorder{}
+}
+
+// EnableObservability attaches a trace recorder to the bottleneck: the
+// link records the generic enqueue/dequeue lifecycle, the TAQ
+// middlebox (when present) its class-specific drop/transition/admission
+// events; for baseline disciplines a chained drop hook records the
+// drops instead. Call before the run starts; rec may be nil to leave
+// tracing off.
+func (n *Network) EnableObservability(rec *obs.Recorder) {
+	n.Events = rec
+	if rec == nil {
+		return
+	}
+	n.Link.SetRecorder(rec)
+	if n.Middlebox != nil {
+		n.Middlebox.SetRecorder(rec)
+		return
+	}
+	n.Link.Discipline().AddDropHook(func(p *packet.Packet) {
+		rec.Drop(n.Engine.Now(), p, -1, p.Retransmit)
+	})
+}
+
+// EnableGauges starts periodic sampling of the bottleneck time series
+// onto sink: queue depth and bytes, cumulative arrivals/drops, link
+// utilization, and — with a TAQ middlebox — per-class queue depths,
+// active/recovering flow counts, the loss-rate EWMA, and the admission
+// backlog. Returns the running gauge set (also kept in n.Gauges);
+// Stop it after the run to flush the sink.
+func (n *Network) EnableGauges(interval sim.Time, sink obs.SeriesSink) *obs.GaugeSet {
+	g := obs.NewGaugeSet(n.Engine, interval, sink)
+	disc := n.Link.Discipline()
+	g.RegisterInt("qlen", disc.Len)
+	g.RegisterInt("qbytes", disc.Bytes)
+	g.Register("arrivals", func() float64 { return float64(n.QueueArrivals) })
+	g.Register("drops", func() float64 { return float64(n.QueueDrops) })
+	g.Register("utilization", n.Utilization)
+	if mb := n.Middlebox; mb != nil {
+		g.RegisterInt("qlen_recovery", func() int { return mb.QueueLen(core.ClassRecovery) })
+		g.RegisterInt("qlen_newflow", func() int { return mb.QueueLen(core.ClassNewFlow) })
+		g.RegisterInt("qlen_overpenalized", func() int { return mb.QueueLen(core.ClassOverPenalized) })
+		g.RegisterInt("qlen_belowfair", func() int { return mb.QueueLen(core.ClassBelowFair) })
+		g.RegisterInt("qlen_abovefair", func() int { return mb.QueueLen(core.ClassAboveFair) })
+		g.RegisterInt("active_flows", mb.ActiveFlows)
+		g.RegisterInt("recovering_flows", mb.RecoveringFlows)
+		g.Register("loss_ewma", mb.LossEWMA)
+		g.RegisterInt("waiting_pools", mb.WaitingPools)
+	}
+	g.Start()
+	n.Gauges = g
+	return g
 }
 
 // accessDelay returns the jittered access delay for the next packet of
