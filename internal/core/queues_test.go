@@ -171,6 +171,10 @@ func TestProportionalFairShare(t *testing.T) {
 	fb := q.tracker.get(2)
 	fa.epoch = 100 * sim.Millisecond
 	fb.epoch = 400 * sim.Millisecond
+	// Direct epoch edits bypass observe(); resync the incremental
+	// inverse-epoch sum the scan reads.
+	q.tracker.reconcile(fa)
+	q.tracker.reconcile(fb)
 	e.RunUntil(300 * sim.Millisecond) // let a scan cache invEpochSum
 	sa := q.flowFairShare(fa)
 	sb := q.flowFairShare(fb)

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"taq/internal/link"
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// buildLoadedTAQ creates a TAQ middlebox tracking n flows, with each
+// flow having seen a SYN and two data segments. Flows are spread across
+// pools of 32 so the pool-fairness accounting is exercised too. The
+// queue is drained after every batch so buffer evictions don't distort
+// the tracker population.
+func buildLoadedTAQ(tb testing.TB, n int) (*sim.Engine, *TAQ, []*packet.Packet) {
+	tb.Helper()
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig(link.Bps(1_000_000_000), 256)
+	cfg.PoolFairShare = true
+	q := New(eng, cfg)
+
+	for i := 0; i < n; i++ {
+		fl := packet.FlowID(i + 1)
+		pool := packet.PoolID(i / 32)
+		q.Enqueue(&packet.Packet{Flow: fl, Pool: pool, Kind: packet.Syn, Size: 40})
+		q.Enqueue(&packet.Packet{Flow: fl, Pool: pool, Kind: packet.Data, Seq: 0, Size: 500})
+		q.Enqueue(&packet.Packet{Flow: fl, Pool: pool, Kind: packet.Data, Seq: 1, Size: 500})
+		for q.Dequeue() != nil {
+		}
+		if i%1024 == 1023 {
+			eng.RunUntil(eng.Now() + sim.Millisecond)
+		}
+	}
+
+	// Reusable data packets for the churn portion of the scan benchmark.
+	touch := make([]*packet.Packet, n)
+	for i := range touch {
+		touch[i] = &packet.Packet{
+			Flow: packet.FlowID(i + 1), Pool: packet.PoolID(i / 32),
+			Kind: packet.Data, Seq: 2, Size: 500,
+		}
+	}
+	return eng, q, touch
+}
+
+// BenchmarkTrackerScan measures the periodic control-loop tick at
+// scale: each iteration touches n/100 flows (steady churn), advances
+// simulated time by one scan interval, and runs the full TAQ scan
+// (silence detection, fair-share refresh, pool accounting, loss
+// window). The flow table stays at n tracked flows throughout.
+func BenchmarkTrackerScan(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			eng, q, touch := buildLoadedTAQ(b, n)
+			step := n / 100
+			if step < 1 {
+				step = 1
+			}
+			next := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < step; j++ {
+					p := touch[next]
+					next = (next + 1) % len(touch)
+					p.Seq++
+					q.Enqueue(p)
+					q.Dequeue()
+				}
+				eng.RunUntil(eng.Now() + q.cfg.ScanInterval)
+				q.scan()
+			}
+		})
+	}
+}
+
+// BenchmarkGaugeSample measures what the obs gauge sampler pays per
+// sampling tick: one read each of ActiveFlows, RecoveringFlows, and
+// StateCensus against a table of n tracked flows.
+func BenchmarkGaugeSample(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			_, q, _ := buildLoadedTAQ(b, n)
+			var sink int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += q.ActiveFlows()
+				sink += q.RecoveringFlows()
+				c := q.StateCensus()
+				sink += c[StateNormal]
+			}
+			_ = sink
+		})
+	}
+}

@@ -33,6 +33,7 @@ func (s Stats) Delta(prev Stats) Stats {
 	d := s
 	d.Arrivals -= prev.Arrivals
 	d.Drops -= prev.Drops
+	d.PolicyDrops -= prev.PolicyDrops
 	d.Served -= prev.Served
 	d.SynsBlocked -= prev.SynsBlocked
 	d.PoolsAdmitted -= prev.PoolsAdmitted
@@ -56,6 +57,7 @@ func (s Stats) Fields() ([]string, []uint64) {
 	}
 	add("arrivals", s.Arrivals)
 	add("drops", s.Drops)
+	add("policy_drops", s.PolicyDrops)
 	for c := 0; c < numClasses; c++ {
 		add("drops_"+classFieldSuffix(Class(c)), s.DropsByClass[c])
 	}

@@ -23,9 +23,15 @@ type TAQ struct {
 	adm     *admission
 
 	// Scheduler accounting for the Level-1 recovery share cap and the
-	// Level-2 round-robin cursor.
-	servedTotal, servedRecovery uint64
-	rrCursor                    int
+	// Level-2 round-robin cursor. The serve counters are windowed —
+	// rolled on the loss-window boundary like the loss monitor — so the
+	// cap compares recent history: with run-lifetime counters, a
+	// recovery burst after a long quiet period would hold strict
+	// priority until it consumed RecoveryShare of the whole run's
+	// services, starving Levels 2–3 far beyond the intended share.
+	winServed, winServedRec   uint64
+	prevServed, prevServedRec uint64
+	rrCursor                  int
 
 	// Loss-rate monitor over sliding windows.
 	winStart         sim.Time
@@ -40,12 +46,12 @@ type TAQ struct {
 	rec *obs.Recorder
 
 	// Cached fair share (bits/second per flow), refreshed by the scan;
-	// invEpochSum weights the proportional fairness model;
-	// poolShare/poolFlows back the pool fairness model (§4.3).
+	// invEpochSum weights the proportional fairness model; poolShare
+	// backs the pool fairness model (§4.3 — per-pool counts live in
+	// the tracker's snapshot counters).
 	fairShare   float64
 	invEpochSum float64
 	poolShare   float64
-	poolFlows   map[packet.PoolID]int
 
 	scanTimer *sim.Timer
 	stopped   bool
@@ -109,12 +115,11 @@ func (t *TAQ) scan() {
 	t.fairShare = float64(t.cfg.Rate) / float64(n)
 	t.invEpochSum = invSum
 	if t.cfg.PoolFairShare {
-		pools, perPool := t.tracker.activePools()
+		pools := t.tracker.snapshotPools()
 		if pools < 1 {
 			pools = 1
 		}
 		t.poolShare = float64(t.cfg.Rate) / float64(pools)
-		t.poolFlows = perPool
 	}
 	now := t.run.Now()
 	if now-t.winStart >= t.cfg.LossWindow {
@@ -125,6 +130,8 @@ func (t *TAQ) scan() {
 		t.lossEWMA = 0.875*t.lossEWMA + 0.125*rate
 		t.prevArr, t.prevDrp = t.winArr, t.winDrop
 		t.winArr, t.winDrop = 0, 0
+		t.prevServed, t.prevServedRec = t.winServed, t.winServedRec
+		t.winServed, t.winServedRec = 0, 0
 		t.winStart = now
 	}
 	if t.cfg.AdmissionControl {
@@ -154,16 +161,18 @@ func (t *TAQ) ActiveFlows() int { return t.tracker.activeFlows() }
 
 // RecoveringFlows returns the number of tracked flows currently in a
 // loss-recovery or timeout state — the population the paper's fairness
-// argument protects.
+// argument protects. O(1): four reads of the maintained census.
 func (t *TAQ) RecoveringFlows() int {
-	c := t.tracker.stateCensus()
+	c := &t.tracker.census
 	return c[StateLossRecovery] + c[StateTimeoutSilence] +
 		c[StateTimeoutRecovery] + c[StateExtendedSilence]
 }
 
 // StateCensus returns the number of tracked flows per approximate
 // state — the middlebox-side view used in the flow-evolution analysis.
-func (t *TAQ) StateCensus() map[FlowState]int { return t.tracker.stateCensus() }
+// The census is maintained on every transition, so this is a fixed-size
+// copy with no allocation.
+func (t *TAQ) StateCensus() Census { return t.tracker.stateCensus() }
 
 // WaitingPools returns the number of flow pools queued for admission.
 func (t *TAQ) WaitingPools() int { return t.adm.waitingPools() }
@@ -190,7 +199,7 @@ func (t *TAQ) flowFairShare(f *flowInfo) float64 {
 		if f.pool == packet.PoolNone {
 			return t.poolShare
 		}
-		n := t.poolFlows[f.pool]
+		n := t.tracker.poolCount(f.pool)
 		if n < 1 {
 			n = 1
 		}
@@ -243,12 +252,12 @@ func (t *TAQ) Enqueue(p *packet.Packet) {
 		case packet.Syn:
 			if !t.adm.allowSyn(p.Pool, t.LossRate()) {
 				t.Stats.SynsBlocked++
-				t.dropPacket(p, ClassNewFlow, false)
+				t.dropPolicy(p, ClassNewFlow, false)
 				return
 			}
 		case packet.Data:
 			if !t.adm.poolAdmitted(p.Pool) {
-				t.dropPacket(p, ClassBelowFair, rtx)
+				t.dropPolicy(p, ClassBelowFair, rtx)
 				return
 			}
 		}
@@ -316,6 +325,11 @@ func (t *TAQ) evict() (*packet.Packet, Class) {
 	}
 	score := func(fl packet.FlowID) float64 {
 		if f := t.tracker.get(fl); f != nil {
+			// The full-table rescan rolled every flow's epoch counters
+			// each scan; the incremental tracker rolls lazily. Catch
+			// this flow up to the last scan so the rate estimate
+			// matches what the rescan would have read.
+			f.catchUp(t.tracker.lastScan)
 			return f.rateEWMA
 		}
 		return 0
@@ -348,11 +362,35 @@ func (t *TAQ) evict() (*packet.Packet, Class) {
 	return nil, ClassAboveFair
 }
 
-// dropPacket records a drop with the tracker and fires the drop hook.
+// dropPacket records a congestion drop: it feeds the loss window that
+// LossRate (and through it, admission control) reads.
 func (t *TAQ) dropPacket(p *packet.Packet, class Class, rtx bool) {
+	t.winDrop++
+	t.recordDrop(p, class, rtx)
+}
+
+// dropPolicy records an admission-policy drop — a blocked SYN or data
+// of an un-admitted pool. The sender loses the packet exactly like a
+// congestion drop (tracker prediction, trace event, and drop hook all
+// fire), but the loss window must not see it: admission control's own
+// drops would otherwise inflate the LossRate that gates allowSyn, and
+// a storm of un-admitted pools could hold admission shut at low real
+// congestion until the Twait pacer drained the queue one pool at a
+// time. The packet is removed from the window's arrival count too, so
+// blocked storms neither inflate nor dilute the congestion signal.
+func (t *TAQ) dropPolicy(p *packet.Packet, class Class, rtx bool) {
+	t.Stats.PolicyDrops++
+	if t.winArr > 0 {
+		t.winArr--
+	}
+	t.recordDrop(p, class, rtx)
+}
+
+// recordDrop is the shared tail of both drop paths: counters, trace
+// event, tracker state prediction, and the drop hook.
+func (t *TAQ) recordDrop(p *packet.Packet, class Class, rtx bool) {
 	t.Stats.Drops++
 	t.Stats.DropsByClass[class]++
-	t.winDrop++
 	if t.rec != nil {
 		t.rec.Drop(t.run.Now(), p, int8(class), rtx)
 	}
@@ -366,7 +404,8 @@ func (t *TAQ) Dequeue() *packet.Packet {
 	// Level 1: Recovery — strict priority, but rate-capped so
 	// retransmissions cannot monopolize the link.
 	if t.q.recovery.Len() > 0 &&
-		float64(t.servedRecovery) < t.cfg.RecoveryShare*float64(t.servedTotal+1) {
+		float64(t.winServedRec+t.prevServedRec) <
+			t.cfg.RecoveryShare*float64(t.winServed+t.prevServed+1) {
 		return t.serve(t.q.recovery.popBest(), ClassRecovery)
 	}
 	// Level 2: NewFlow, OverPenalized, BelowFairShare at equal
@@ -392,9 +431,9 @@ func (t *TAQ) Dequeue() *packet.Packet {
 }
 
 func (t *TAQ) serve(p *packet.Packet, class Class) *packet.Packet {
-	t.servedTotal++
+	t.winServed++
 	if class == ClassRecovery {
-		t.servedRecovery++
+		t.winServedRec++
 	}
 	t.Stats.Served++
 	t.Stats.ServedByClass[class]++

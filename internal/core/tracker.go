@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"taq/internal/obs"
 	"taq/internal/packet"
@@ -80,7 +80,10 @@ type flowInfo struct {
 	// Epoch (middlebox-perceived RTT) estimation.
 	epoch      sim.Time
 	epochStart sim.Time
-	epochs     int      // epochs observed since creation
+	epochs     int // epochs observed since creation
+	// rolledTo is the time through which the flow's epoch counters
+	// have been rolled (see catchUp).
+	rolledTo   sim.Time
 	burstStart sim.Time // start of the current packet burst
 
 	// Current- and previous-epoch counters.
@@ -129,6 +132,28 @@ type flowInfo struct {
 	// assigned (-1 before the first classification), so class-change
 	// trace events fire only on actual changes.
 	lastClass int8
+
+	// Incremental-accounting bookkeeping. The tracker maintains the
+	// aggregate control inputs (active count, census, per-pool counts,
+	// inverse-epoch sum) as running counters instead of rescanning the
+	// flow table, so these fields tie each record to those counters
+	// and to the two deadline heaps.
+
+	// gen is bumped every time this record is evicted, invalidating
+	// any heap entries that still point at it (records are recycled
+	// through the tracker's free list).
+	gen uint32
+	// counted reports whether this flow is currently included in the
+	// tracker's active-flow aggregates.
+	counted bool
+	// invTerm is the fixed-point inverse-epoch term this flow
+	// contributes to invSumFx while counted.
+	invTerm int64
+	// actDl and scanDl mirror the earliest live heap entry for this
+	// flow on the activity and scan heaps (0 = none); pushes are
+	// elided unless they move the earliest deadline, bounding stale
+	// entries.
+	actDl, scanDl sim.Time
 }
 
 // roll advances the flow's epoch counters to cover time now, possibly
@@ -151,11 +176,52 @@ func (f *flowInfo) roll(now sim.Time) {
 	}
 }
 
+// catchUp completes the scan-parity roll schedule through time x (an
+// event time or the last scan). The rescanning tracker rolled every
+// flow at every scan; the incremental tracker must replay exactly the
+// crossings those rolls would have made, with the epoch values then in
+// effect. Every epoch mutation is preceded by a catchUp, so between
+// mutations the epoch is constant and one deferred roll is equivalent
+// to the per-scan series. The rolledTo watermark makes catch-up
+// monotone: without it, re-rolling an already-covered span after an
+// epoch shrink could cross a boundary the old schedule never saw
+// (the shrink can pull epochStart+epoch behind a point the flow was
+// already rolled past), mis-bucketing that epoch's counters.
+func (f *flowInfo) catchUp(x sim.Time) {
+	if x <= f.rolledTo {
+		return
+	}
+	f.rolledTo = x
+	f.roll(x)
+}
+
 // silentFor returns how long the flow has been silent at time now.
 func (f *flowInfo) silentFor(now sim.Time) sim.Time { return now - f.lastPkt }
 
+// Census counts tracked flows per approximate state, indexed by
+// FlowState. It is maintained incrementally on every transition, so
+// reading it is a fixed-size copy with no allocation and no walk of
+// the flow table.
+type Census [numFlowStates]int
+
+// poolEntry tracks one pool's active-flow count. cur is live; snap
+// freezes the count as of the last scan barrier (see snapshotPools):
+// the first mutation after a barrier saves cur into snap and stamps
+// the entry, so mid-window reads keep seeing the scan-time value —
+// the same snapshot semantics the rescanning implementation got by
+// materializing a map each scan. refs counts tracked flows (active or
+// not) keyed to the pool; the entry is dropped when it hits zero.
+type poolEntry struct {
+	cur, snap, refs int
+	stamp           uint64
+}
+
 // tracker owns all per-flow records and applies the approximate state
-// model.
+// model. All aggregate control inputs are maintained incrementally:
+// observing a packet, dropping one, or scanning a due flow updates the
+// counters in O(1), and the periodic scan itself touches only flows
+// whose deadlines have passed (tracked by two lazy-deletion heaps)
+// instead of rescanning the whole table.
 type tracker struct {
 	cfg   Config
 	run   sim.Runner
@@ -163,10 +229,51 @@ type tracker struct {
 	// rec, when non-nil, receives TrackerTransition/TimeoutDetected
 	// events from setState (installed via TAQ.SetRecorder).
 	rec *obs.Recorder
+
+	// census partitions the flow table by state.
+	census Census
+	// activeN counts flows satisfying the active predicate; singles
+	// counts the active pool-less flows among them (each its own
+	// "pool"), and activePoolsN the pools with at least one active
+	// flow.
+	activeN, singles, activePoolsN int
+	// invSumFx accumulates the active flows' inverse epochs in fixed
+	// point (invEpochFxShift fractional bits). Integer addition is
+	// exact and order-independent, so the sum is identical no matter
+	// in which order flows join and leave — the float accumulation it
+	// replaces was only deterministic because every pass ran in
+	// sorted order.
+	invSumFx int64
+	// pools holds per-pool active counts (point lookups only — never
+	// iterated, so map order cannot leak into behavior).
+	pools map[packet.PoolID]*poolEntry
+	// stamp is the snapshot barrier counter for poolEntry (bumped by
+	// snapshotPools).
+	stamp uint64
+
+	// actHeap orders flows by the time their activity-recency window
+	// (4 epochs of silence) runs out; scanHeap orders them by the
+	// earliest time a scan transition or expiry eviction could apply.
+	actHeap, scanHeap deadlineHeap
+	// free recycles evicted records; due is the scan's scratch list.
+	free []*flowInfo
+	due  []*flowInfo
+	// lastScan is when the periodic scan last ran. The rescanning
+	// implementation rolled every flow's epoch counters each scan;
+	// the incremental one rolls lazily, and readers that need
+	// scan-fresh counters (the eviction score) catch up to this
+	// point — roll is idempotent catch-up, so the result is
+	// identical.
+	lastScan sim.Time
 }
 
 func newTracker(run sim.Runner, cfg Config) *tracker {
-	return &tracker{cfg: cfg, run: run, flows: make(map[packet.FlowID]*flowInfo)}
+	return &tracker{
+		cfg: cfg, run: run,
+		flows: make(map[packet.FlowID]*flowInfo),
+		pools: make(map[packet.PoolID]*poolEntry),
+		stamp: 1,
+	}
 }
 
 func (t *tracker) get(id packet.FlowID) *flowInfo { return t.flows[id] }
@@ -175,15 +282,54 @@ func (t *tracker) getOrCreate(p *packet.Packet) *flowInfo {
 	f, ok := t.flows[p.Flow]
 	if !ok {
 		now := t.run.Now()
-		f = &flowInfo{
-			id: p.Flow, pool: p.Pool, state: StateNew,
-			created: now, synAt: now, epoch: t.cfg.DefaultEpoch,
-			epochStart: now, lastPkt: now, highSeq: -1, sampleSeq: -1,
-			lastClass: -1,
+		if n := len(t.free); n > 0 {
+			f = t.free[n-1]
+			t.free[n-1] = nil
+			t.free = t.free[:n-1]
+			gen := f.gen // survives recycling; bumped at eviction
+			*f = flowInfo{}
+			f.gen = gen
+		} else {
+			f = &flowInfo{}
 		}
+		f.id, f.pool, f.state = p.Flow, p.Pool, StateNew
+		f.created, f.synAt = now, now
+		f.epoch, f.epochStart, f.lastPkt = t.cfg.DefaultEpoch, now, now
+		f.highSeq, f.sampleSeq, f.lastClass = -1, -1, -1
 		t.flows[p.Flow] = f
+		t.census[StateNew]++
+		if p.Pool != packet.PoolNone {
+			e := t.pools[p.Pool]
+			if e == nil {
+				e = &poolEntry{}
+				t.pools[p.Pool] = e
+			}
+			e.refs++
+		}
 	}
 	return f
+}
+
+// evictFlow removes a long-dead flow: it is withdrawn from every
+// aggregate, its heap entries are invalidated by bumping gen, and the
+// record goes to the free list for reuse.
+func (t *tracker) evictFlow(f *flowInfo) {
+	if f.counted {
+		t.applyCount(f, false)
+	}
+	t.census[f.state]--
+	if f.pool != packet.PoolNone {
+		if e := t.pools[f.pool]; e != nil {
+			e.refs--
+			if e.refs <= 0 {
+				delete(t.pools, f.pool)
+			}
+		}
+	}
+	delete(t.flows, f.id)
+	f.gen++
+	f.actDl, f.scanDl = 0, 0
+	t.free = append(t.free, f)
 }
 
 // setState moves f to state s, emitting the tracker trace events. A
@@ -200,6 +346,8 @@ func (t *tracker) setState(f *flowInfo, s FlowState) {
 			t.rec.TimeoutDetected(now, f.id, f.pool, int8(f.state), int8(s))
 		}
 	}
+	t.census[f.state]--
+	t.census[s]++
 	f.state = s
 }
 
@@ -215,7 +363,7 @@ func (t *tracker) observe(p *packet.Packet) (f *flowInfo, rtx bool) {
 	if silence > f.epoch {
 		f.lastSilence = silence
 	}
-	f.roll(now)
+	f.catchUp(now)
 
 	switch p.Kind {
 	case packet.Syn:
@@ -259,6 +407,7 @@ func (t *tracker) observe(p *packet.Packet) (f *flowInfo, rtx bool) {
 		t.transition(f, rtx, silence)
 	}
 	f.lastPkt = now
+	t.reconcile(f)
 	return f, rtx
 }
 
@@ -345,6 +494,12 @@ func (t *tracker) observeReverse(p *packet.Packet) {
 		return
 	}
 	now := t.run.Now()
+	// About to move the epoch: first catch the counters up to the last
+	// scan with the old epoch. The full-table rescan rolled every flow
+	// at every scan, so its epoch-boundary crossings up to that point
+	// used the pre-ack estimate; rolling lazily with the new epoch
+	// would land the boundaries elsewhere.
+	f.catchUp(t.lastScan)
 	if f.sampleSeq >= 0 && p.CumAck > f.sampleSeq {
 		if down := now - f.sampleAt; down > 0 {
 			f.downRTT = ewmaTime(f.downRTT, down)
@@ -357,6 +512,9 @@ func (t *tracker) observeReverse(p *packet.Packet) {
 		f.epoch = f.downRTT + f.upRTT
 		f.twoWay = true
 	}
+	// The epoch may have moved without a forward packet: deadlines
+	// derived from it (and the flow's inverse-epoch term) must follow.
+	t.reconcile(f)
 }
 
 func ewmaTime(old, sample sim.Time) sim.Time {
@@ -374,6 +532,11 @@ func (t *tracker) recordDrop(p *packet.Packet, rtx bool) {
 		return
 	}
 	now := t.run.Now()
+	// Catch the flow up to the last scan before counting, so the drop
+	// lands in the same epoch bucket the full-table rescan would have
+	// used (the rescan rolled every flow each scan; roll is idempotent,
+	// so a flow already rolled past the scan is untouched).
+	f.catchUp(t.lastScan)
 	f.drops++
 	f.outstandingDrops++
 	switch {
@@ -394,116 +557,299 @@ func (t *tracker) recordDrop(p *packet.Packet, rtx bool) {
 			t.setState(f, StateLossRecovery)
 		}
 	}
+	// The drop may have changed the state, silenceStart, or the
+	// outstanding-drop count — all scan-deadline inputs.
+	t.reconcile(f)
 }
 
-// sortedFlowIDs returns the tracked flow ids in ascending order, so
-// per-flow passes (and their floating-point accumulations) run in a
-// deterministic order regardless of map layout.
-func (t *tracker) sortedFlowIDs() []packet.FlowID {
-	ids := make([]packet.FlowID, 0, len(t.flows))
-	for id := range t.flows {
-		ids = append(ids, id)
+// timeoutish reports whether s is one of the timeout states whose
+// flows count as active regardless of silence — they deserve their
+// fair share when they return (§3.3).
+func timeoutish(s FlowState) bool {
+	return s == StateTimeoutSilence || s == StateExtendedSilence ||
+		s == StateTimeoutRecovery
+}
+
+// invEpochFxShift is the fixed-point precision of invSumFx: terms are
+// (1/epoch seconds) scaled by 2^20, giving ~6 decimal digits below the
+// point while a million 1 kHz flows still sum far below int64 range.
+const invEpochFxShift = 20
+
+func invTermFor(epoch sim.Time) int64 {
+	if epoch <= 0 {
+		return 0
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return (int64(sim.Second) << invEpochFxShift) / int64(epoch)
+}
+
+// wantCounted is the active-flow predicate: seen within the last four
+// epochs, or parked in a timeout state.
+func (t *tracker) wantCounted(f *flowInfo, now sim.Time) bool {
+	return now-f.lastPkt <= 4*f.epoch || timeoutish(f.state)
+}
+
+// applyCount inserts or withdraws f from the active aggregates:
+// activeN, the inverse-epoch sum, and the pool counts (pool-less flows
+// are their own singleton pools).
+func (t *tracker) applyCount(f *flowInfo, on bool) {
+	if on == f.counted {
+		return
+	}
+	f.counted = on
+	if on {
+		t.activeN++
+		f.invTerm = invTermFor(f.epoch)
+		t.invSumFx += f.invTerm
+	} else {
+		t.activeN--
+		t.invSumFx -= f.invTerm
+	}
+	if f.pool == packet.PoolNone {
+		if on {
+			t.singles++
+		} else {
+			t.singles--
+		}
+		return
+	}
+	e := t.pools[f.pool] // exists while the flow is tracked (refs > 0)
+	if e.stamp != t.stamp {
+		e.snap = e.cur
+		e.stamp = t.stamp
+	}
+	if on {
+		if e.cur == 0 {
+			t.activePoolsN++
+		}
+		e.cur++
+	} else {
+		e.cur--
+		if e.cur == 0 {
+			t.activePoolsN--
+		}
+	}
+}
+
+// scanDeadlineOf returns the earliest time at which the periodic scan
+// could change f: the moment a silence-transition condition can first
+// hold (all are strict comparisons, so the flow is due once the
+// deadline is strictly in the past), capped by expiry eviction.
+func (t *tracker) scanDeadlineOf(f *flowInfo) sim.Time {
+	dl := f.lastPkt + t.cfg.FlowExpiry
+	switch f.state {
+	case StateLossRecovery, StateTimeoutRecovery:
+		var d sim.Time
+		if f.outstandingDrops > 0 {
+			d = f.lastPkt + f.epoch*3/2
+		} else {
+			d = f.lastPkt + f.epoch*3
+		}
+		if d < dl {
+			dl = d
+		}
+	case StateTimeoutSilence:
+		if d := f.silenceStart + 3*f.epoch; d < dl {
+			dl = d
+		}
+	case StateNormal, StateSlowStart:
+		if d := f.lastPkt + f.epoch*3/2; d < dl {
+			dl = d
+		}
+	}
+	return dl
+}
+
+// reconcile brings f's aggregate membership and heap deadlines in line
+// with its current fields. It must run after any mutation of a
+// deadline input (lastPkt, epoch, state, outstandingDrops,
+// silenceStart): observe, observeReverse, recordDrop, and each scanned
+// flow end with it. Pushes are elided unless they move the flow's
+// earliest live entry, so repeated reconciles are cheap and the heaps
+// stay near one live entry per flow.
+func (t *tracker) reconcile(f *flowInfo) {
+	now := t.run.Now()
+	if want := t.wantCounted(f, now); want != f.counted {
+		t.applyCount(f, want)
+	} else if f.counted {
+		if nt := invTermFor(f.epoch); nt != f.invTerm {
+			t.invSumFx += nt - f.invTerm
+			f.invTerm = nt
+		}
+	}
+	if f.counted && !timeoutish(f.state) {
+		dl := f.lastPkt + 4*f.epoch
+		if f.actDl == 0 || dl < f.actDl {
+			t.actHeap.push(dl, f)
+			f.actDl = dl
+		}
+	}
+	dl := t.scanDeadlineOf(f)
+	if f.scanDl == 0 || dl < f.scanDl {
+		t.scanHeap.push(dl, f)
+		f.scanDl = dl
+	}
+}
+
+// advanceActivity settles every activity deadline that has passed:
+// flows whose recency window ran out are withdrawn from the active
+// aggregates. Readers call it first, so active counts are evaluated
+// at read time exactly like the predicate-per-flow rescan was.
+// Timeout-state flows stay counted regardless of silence; their
+// entries are simply discarded (reconcile re-arms one when the state
+// machine moves them on).
+func (t *tracker) advanceActivity(now sim.Time) {
+	for {
+		e, ok := t.actHeap.peek()
+		if !ok || e.dl >= now {
+			return
+		}
+		t.actHeap.pop()
+		f := e.f
+		if f.gen != e.gen {
+			continue // evicted (and possibly recycled) since the push
+		}
+		if f.actDl == e.dl {
+			f.actDl = 0
+		}
+		if !f.counted || timeoutish(f.state) {
+			continue
+		}
+		if actual := f.lastPkt + 4*f.epoch; actual < now {
+			t.applyCount(f, false)
+		} else {
+			// The deadline moved later after this entry was pushed
+			// (new packets, or the epoch grew): re-arm at the live
+			// deadline.
+			if f.actDl == 0 || actual < f.actDl {
+				t.actHeap.push(actual, f)
+				f.actDl = actual
+			}
+		}
+	}
 }
 
 // scan performs the periodic silence pass: flows that have gone quiet
-// move into the silence states; long-dead flows are evicted.
+// move into the silence states; long-dead flows are evicted. Only
+// flows whose scan deadline has passed are touched; the transition
+// logic itself is unchanged. Due flows are processed in ascending id
+// order — the order the full-table rescan used — so trace events
+// within a scan are emitted identically.
 func (t *tracker) scan() {
 	now := t.run.Now()
-	for _, id := range t.sortedFlowIDs() {
-		f := t.flows[id]
-		if f.silentFor(now) > t.cfg.FlowExpiry {
-			delete(t.flows, id)
+	t.advanceActivity(now)
+	t.due = t.due[:0]
+	for {
+		e, ok := t.scanHeap.peek()
+		if !ok || e.dl >= now {
+			break
+		}
+		t.scanHeap.pop()
+		f := e.f
+		if f.gen != e.gen {
 			continue
 		}
-		f.roll(now)
-		silent := f.silentFor(now)
-		switch f.state {
-		case StateLossRecovery, StateTimeoutRecovery:
-			if silent > f.epoch*3/2 && f.outstandingDrops > 0 {
-				// Expected retransmissions never came: the sender is
-				// waiting out an RTO.
-				if f.state == StateTimeoutRecovery {
-					t.setState(f, StateExtendedSilence)
-				} else {
-					t.setState(f, StateTimeoutSilence)
-				}
-				f.silenceStart = f.lastPkt
-			} else if silent > f.epoch*3 {
-				t.setState(f, StateIdleSilence)
-			}
-		case StateTimeoutSilence:
-			if now-f.silenceStart > 3*f.epoch {
+		if f.scanDl == e.dl {
+			f.scanDl = 0
+		}
+		t.due = append(t.due, f)
+	}
+	slices.SortFunc(t.due, func(a, b *flowInfo) int {
+		return int(a.id) - int(b.id)
+	})
+	var prev *flowInfo
+	for _, f := range t.due {
+		if f == prev {
+			continue // duplicate stale entries for the same flow
+		}
+		prev = f
+		t.scanFlow(f, now)
+	}
+	t.lastScan = now
+}
+
+// scanFlow applies the scan logic to one due flow. Processing a flow
+// whose live deadline has not actually passed (a stale early entry) is
+// harmless: every condition below is false and reconcile re-arms the
+// true deadline.
+func (t *tracker) scanFlow(f *flowInfo, now sim.Time) {
+	if f.silentFor(now) > t.cfg.FlowExpiry {
+		t.evictFlow(f)
+		return
+	}
+	f.catchUp(now)
+	silent := f.silentFor(now)
+	switch f.state {
+	case StateLossRecovery, StateTimeoutRecovery:
+		if silent > f.epoch*3/2 && f.outstandingDrops > 0 {
+			// Expected retransmissions never came: the sender is
+			// waiting out an RTO.
+			if f.state == StateTimeoutRecovery {
 				t.setState(f, StateExtendedSilence)
+			} else {
+				t.setState(f, StateTimeoutSilence)
 			}
-		case StateNormal, StateSlowStart:
-			if silent > f.epoch*3/2 {
-				if f.outstandingDrops > 0 {
-					t.setState(f, StateTimeoutSilence)
-					f.silenceStart = f.lastPkt
-				} else {
-					t.setState(f, StateIdleSilence)
-				}
+			f.silenceStart = f.lastPkt
+		} else if silent > f.epoch*3 {
+			t.setState(f, StateIdleSilence)
+		}
+	case StateTimeoutSilence:
+		if now-f.silenceStart > 3*f.epoch {
+			t.setState(f, StateExtendedSilence)
+		}
+	case StateNormal, StateSlowStart:
+		if silent > f.epoch*3/2 {
+			if f.outstandingDrops > 0 {
+				t.setState(f, StateTimeoutSilence)
+				f.silenceStart = f.lastPkt
+			} else {
+				t.setState(f, StateIdleSilence)
 			}
 		}
 	}
+	t.reconcile(f)
 }
 
 // activeStats returns the number of active flows (seen within the
 // last few epochs or stuck in timeout states) — the N of the
 // fair-share computation C/N — together with the sum of their inverse
-// epoch estimates, which weights the proportional fairness model.
+// epoch estimates, which weights the proportional fairness model. Both
+// are O(1) reads of maintained counters (after settling any expired
+// activity deadlines).
 func (t *tracker) activeStats() (n int, invEpochSum float64) {
-	now := t.run.Now()
-	for _, id := range t.sortedFlowIDs() {
-		f := t.flows[id]
-		if f.silentFor(now) <= 4*f.epoch || f.state == StateTimeoutSilence ||
-			f.state == StateExtendedSilence || f.state == StateTimeoutRecovery {
-			n++
-			if f.epoch > 0 {
-				invEpochSum += 1 / f.epoch.Seconds()
-			}
-		}
-	}
-	return
+	t.advanceActivity(t.run.Now())
+	return t.activeN, float64(t.invSumFx) / (1 << invEpochFxShift)
 }
 
 // activeFlows counts flows seen within the last few epochs.
 func (t *tracker) activeFlows() int {
-	n, _ := t.activeStats()
-	return n
+	t.advanceActivity(t.run.Now())
+	return t.activeN
 }
 
-// activePools returns the number of active pools and the active flow
-// count of each (pool-less flows count as one pool each, keyed by
-// PoolNone — callers treat them as singletons).
-func (t *tracker) activePools() (pools int, flowsPerPool map[packet.PoolID]int) {
-	now := t.run.Now()
-	flowsPerPool = make(map[packet.PoolID]int)
-	singletons := 0
-	for _, id := range t.sortedFlowIDs() {
-		f := t.flows[id]
-		active := f.silentFor(now) <= 4*f.epoch || f.state == StateTimeoutSilence ||
-			f.state == StateExtendedSilence || f.state == StateTimeoutRecovery
-		if !active {
-			continue
-		}
-		if f.pool == packet.PoolNone {
-			singletons++
-			continue
-		}
-		flowsPerPool[f.pool]++
-	}
-	return len(flowsPerPool) + singletons, flowsPerPool
+// snapshotPools returns the number of active pools (pool-less flows
+// count as one pool each) and starts a new pool-count snapshot window:
+// until the next call, poolCount answers with the counts as of this
+// barrier.
+func (t *tracker) snapshotPools() (pools int) {
+	t.advanceActivity(t.run.Now())
+	pools = t.activePoolsN + t.singles
+	t.stamp++
+	return pools
 }
 
-// StateCensus returns the number of tracked flows in each state.
-func (t *tracker) stateCensus() map[FlowState]int {
-	out := make(map[FlowState]int, numFlowStates)
-	for _, f := range t.flows {
-		out[f.state]++
+// poolCount returns pool's active flow count as of the last
+// snapshotPools barrier (0 for unknown or inactive pools).
+func (t *tracker) poolCount(pool packet.PoolID) int {
+	e := t.pools[pool]
+	if e == nil {
+		return 0
 	}
-	return out
+	if e.stamp == t.stamp {
+		return e.snap
+	}
+	return e.cur
 }
+
+// stateCensus returns the number of tracked flows in each state — a
+// copy of the maintained census array, allocation-free.
+func (t *tracker) stateCensus() Census { return t.census }

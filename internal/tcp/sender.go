@@ -440,6 +440,11 @@ func (s *Sender) onDupAck() {
 		s.Stats.FastRetransmits++
 		s.retransmitHole()
 		s.armRTO()
+		// RFC 6582: the inflated window (ssthresh + 3) may already
+		// permit new data; without this send opportunity a small
+		// window that produces exactly three dupacks stalls a full
+		// RTT waiting for the recovery ack.
+		s.trySend()
 	case s.inRecovery:
 		s.cwnd++ // window inflation per arriving dupack
 		if s.cfg.SACK {

@@ -509,3 +509,63 @@ func TestTransferInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFastRetransmitSendsNewDataImmediately is the RFC 6582 regression
+// test for the fast-retransmit send opportunity: the third dupack
+// inflates cwnd to ssthresh+3, which can already admit new data. With
+// ≈4 segments in flight a single loss yields exactly three dupacks —
+// no fourth ack ever arrives to trigger a send — so without trySend at
+// the fast retransmit, the permitted new segment stalls a full RTT
+// until the recovery ack returns.
+func TestFastRetransmitSendsNewDataImmediately(t *testing.T) {
+	cfg := tcp.DefaultConfig()
+	cfg.InitialCwnd = 4
+	cfg.InitialSsthresh = 2 // congestion avoidance: cwnd stays ≈4
+	type sendEvent struct {
+		at  sim.Time
+		seq int
+		rtx bool
+	}
+	var sends []sendEvent
+	h := newHarness(t, cfg, tcp.BulkApp{}, 10*sim.Millisecond)
+	const lostSeq = 4 // first segment of the second flight
+	dropped := false
+	h.drop = func(p *packet.Packet) bool {
+		if p.Kind != packet.Data {
+			return false
+		}
+		sends = append(sends, sendEvent{h.e.Now(), p.Seq, p.Retransmit})
+		if p.Seq == lostSeq && !dropped && !p.Retransmit {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	h.s.Start()
+	h.e.RunUntil(5 * sim.Second)
+	if !dropped {
+		t.Fatal("test setup: seq 20 was never sent")
+	}
+	if h.s.Stats.FastRetransmits != 1 {
+		t.Fatalf("FastRetransmits = %d, want 1 (Timeouts = %d)",
+			h.s.Stats.FastRetransmits, h.s.Stats.Timeouts)
+	}
+	var rtxAt sim.Time = -1
+	for _, s := range sends {
+		if s.rtx && s.seq == lostSeq {
+			rtxAt = s.at
+			break
+		}
+	}
+	if rtxAt < 0 {
+		t.Fatal("lost segment was never fast-retransmitted")
+	}
+	// The inflated window (ssthresh+3 = 5 > 4 outstanding) permits one
+	// new segment at the instant of the fast retransmit.
+	for _, s := range sends {
+		if !s.rtx && s.seq > lostSeq+3 && s.at == rtxAt {
+			return
+		}
+	}
+	t.Errorf("no new data sent at the fast-retransmit instant %v; the inflated window's send opportunity was missed", rtxAt)
+}

@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// End-to-end golden traces: full dumbbell runs (real TCP senders, link
+// delays, gauges) hashed and pinned, complementing the synthetic
+// core-level goldens in internal/core. A tracker-internals change that
+// shifts any admission, classification, drop, or gauge sample by one
+// bit fails here. Re-pin with TAQ_UPDATE_GOLDEN=1 after an intentional
+// behavior change.
+
+const goldenTraceFile = "testdata/golden_traces.txt"
+
+func goldenHash(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+func TestGoldenDumbbellTraces(t *testing.T) {
+	seeds := []int64{7, 23}
+	update := os.Getenv("TAQ_UPDATE_GOLDEN") != ""
+
+	got := map[string][2]string{}
+	for _, seed := range seeds {
+		events, gauges := runTraced(t, seed)
+		if len(events) == 0 || len(gauges) == 0 {
+			t.Fatalf("seed %d produced an empty trace", seed)
+		}
+		got[fmt.Sprintf("dumbbell-seed%d", seed)] = [2]string{goldenHash(events), goldenHash(gauges)}
+	}
+
+	if update {
+		if err := os.MkdirAll(filepath.Dir(goldenTraceFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, 0, len(got))
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s %s %s\n", n, got[n][0], got[n][1])
+		}
+		if err := os.WriteFile(goldenTraceFile, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenTraceFile)
+		return
+	}
+
+	f, err := os.Open(goldenTraceFile)
+	if err != nil {
+		t.Fatalf("no golden hashes (%v); run with TAQ_UPDATE_GOLDEN=1 to create them", err)
+	}
+	defer f.Close()
+	want := map[string][2]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 3 {
+			want[fields[0]] = [2]string{fields[1], fields[2]}
+		}
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("no golden hash for %q; run with TAQ_UPDATE_GOLDEN=1", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: trace diverged from golden:\n events %s (want %s)\n gauges %s (want %s)",
+				name, g[0], w[0], g[1], w[1])
+		}
+	}
+}
