@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHSCALE ?= 0.05
 
-.PHONY: build vet taqvet taqvet-sarif test race fuzz bench check
+.PHONY: build vet taqvet taqvet-sarif taqvet-roots test race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ taqvet:
 # scanning upload, with -audit so stale //taq:allow directives fail too.
 taqvet-sarif:
 	$(GO) run ./cmd/taqvet -audit -format sarif -out taqvet.sarif ./...
+
+# taqvet-roots regenerates the committed hotpath-closure baseline.
+# Run it after annotating (or retiring) a //taq:hotpath root and commit
+# the result; CI diffs the live closure against this file, so a root
+# that silently loses its annotation fails the build.
+taqvet-roots:
+	$(GO) run ./cmd/taqvet -roots ./... > docs/hotpath-closure.txt
 
 test:
 	$(GO) test ./...

@@ -240,38 +240,9 @@ func BenchmarkDisciplineTAQObsOn(b *testing.B) {
 	benchmarkDiscipline(b, mb)
 }
 
-// TestObsOffHotPathZeroAllocs is the "zero overhead when off" proof at
-// the middlebox level: with no recorder attached, a warmed TAQ
-// enqueue/dequeue cycle must not allocate — the obs hooks must reduce
-// to a nil check.
-func TestObsOffHotPathZeroAllocs(t *testing.T) {
-	e := sim.NewEngine(1)
-	mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
-	pkts := make([]*packet.Packet, 64)
-	for i := range pkts {
-		pkts[i] = &packet.Packet{
-			Flow: packet.FlowID(i % 8), Kind: packet.Data,
-			Seq: i, Size: 500,
-		}
-	}
-	// Warm up: create the flow-tracker entries and per-class queues so
-	// steady state is measured, not first-touch growth.
-	for _, p := range pkts {
-		mb.Enqueue(p)
-	}
-	for mb.Dequeue() != nil {
-	}
-
-	i := 0
-	allocs := testing.AllocsPerRun(1000, func() {
-		mb.Enqueue(pkts[i%len(pkts)])
-		mb.Dequeue()
-		i++
-	})
-	if allocs != 0 {
-		t.Fatalf("TAQ enqueue/dequeue with tracing off: %v allocs/op, want 0", allocs)
-	}
-}
+// The "zero overhead when off" proof at the middlebox level lives in
+// hotpath_alloc_test.go now, table-driven over every declared
+// //taq:hotpath root.
 
 func BenchmarkInitialWindow(b *testing.B) {
 	var penalty float64

@@ -1,13 +1,19 @@
-// Command taqvet runs the repo-specific determinism and concurrency
-// analyzers over the module (see docs/static-analysis.md):
+// Command taqvet runs the repo-specific determinism, concurrency, and
+// hot-path analyzers over the module (see docs/static-analysis.md):
 //
 //	go run ./cmd/taqvet ./...
 //	go run ./cmd/taqvet -format sarif -out taqvet.sarif ./...
 //	go run ./cmd/taqvet -audit ./...
+//	go run ./cmd/taqvet -roots ./...
 //
 // The default format prints "file:line:col: message [analyzer]" per
 // finding; -format json/sarif/github emit machine-readable output.
-// -audit additionally reports stale //taq:allow directives.
+// -audit additionally reports stale //taq:allow directives and
+// malformed //taq: directives (unknown directive word, missing or
+// unknown analyzer names, //taq:hotpath on anything but a function
+// declaration with a body). -roots prints the declared //taq:hotpath
+// roots and the per-package closure sizes — CI diffs this against the
+// committed docs/hotpath-closure.txt baseline.
 //
 // Exit status: 0 clean, 1 findings, 2 on usage errors or when any
 // package fails to load or type-check (the failing package is named).
@@ -36,9 +42,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
 	format := fs.String("format", "text", "output format: text, json, sarif, or github")
 	out := fs.String("out", "", "write output to this file instead of stdout")
-	audit := fs.Bool("audit", false, "also report stale //taq:allow directives (requires the full suite)")
+	audit := fs.Bool("audit", false, "also report stale //taq:allow and malformed //taq: directives (requires the full suite)")
+	roots := fs.Bool("roots", false, "print the //taq:hotpath roots and closure size per package, then exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: taqvet [-list] [-only a,b] [-format text|json|sarif|github] [-out file] [-audit] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: taqvet [-list] [-roots] [-only a,b] [-format text|json|sarif|github] [-out file] [-audit] [packages]\n\n")
 		fmt.Fprintf(stderr, "Runs TAQ's determinism & concurrency analyzers (default ./...).\n")
 		fs.PrintDefaults()
 	}
@@ -98,6 +105,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *roots {
+		if err := analysis.WriteRoots(stdout, pkgs); err != nil {
+			fmt.Fprintf(stderr, "taqvet: writing roots: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
 	diags, stale := analysis.RunAudit(pkgs, cfg)
 	if *audit {
 		diags = append(diags, stale...)
@@ -106,6 +121,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range diags {
 		diags[i].Pos.Filename = relativize(cwd, diags[i].Pos.Filename)
 	}
+	// Re-sort after merging the audit findings and relativizing paths:
+	// every format's output must be byte-stable for CI's determinism
+	// cmp, and the merged list is otherwise only sorted per source.
+	analysis.SortDiagnostics(diags)
 
 	dst := stdout
 	if *out != "" {

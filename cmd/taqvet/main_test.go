@@ -23,6 +23,8 @@ func TestExitCodes(t *testing.T) {
 		{"unknown format", []string{"-format", "xml", "./..."}, 2, "unknown format"},
 		{"unknown analyzer", []string{"-only", "nosuch", "./..."}, 2, "unknown analyzer"},
 		{"audit with only", []string{"-audit", "-only", "wallclock", "./..."}, 2, "-audit needs the full suite"},
+		{"malformed directives fail -audit", []string{"-audit", "../../internal/analysis/testdata/src/malformed"}, 1, "finding(s)"},
+		{"malformed directives pass without -audit", []string{"../../internal/analysis/testdata/src/malformed"}, 0, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -35,6 +37,33 @@ func TestExitCodes(t *testing.T) {
 				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
 			}
 		})
+	}
+}
+
+// TestRootsOutput pins the -roots contract CI's baseline cmp relies
+// on: "root <name>" lines for each declared //taq:hotpath function,
+// per-package closure counts, a total line, exit 0 even though the
+// fixture has findings, and byte-identical output across runs.
+func TestRootsOutput(t *testing.T) {
+	const fixture = "../../internal/analysis/testdata/src/hotpath"
+	var first string
+	for i := 0; i < 2; i++ {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-roots", fixture}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+		}
+		if i == 0 {
+			first = stdout.String()
+			continue
+		}
+		if stdout.String() != first {
+			t.Fatalf("-roots output not byte-stable:\n%s\nvs\n%s", first, stdout.String())
+		}
+	}
+	for _, want := range []string{"root ", "hotpath.Root", "package ", "total ", "from 1 roots"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("-roots output missing %q:\n%s", want, first)
+		}
 	}
 }
 

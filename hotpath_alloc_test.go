@@ -1,0 +1,308 @@
+// Zero-allocation proofs for every declared //taq:hotpath root. The
+// table below is keyed by the same root names taqvet's call-graph pass
+// discovers (`go run ./cmd/taqvet -roots ./...`), and the test fails
+// if the two lists drift: a new annotated root must bring an
+// AllocsPerRun harness, and a retired one must take its row along.
+// Several roots share one exercise — a warmed enqueue/dequeue cycle
+// drives Enqueue, Dequeue and the tracker's catchUp at once — but
+// every root must be claimed by exactly one row.
+package taq_test
+
+import (
+	"testing"
+
+	"taq/internal/analysis"
+	"taq/internal/core"
+	"taq/internal/link"
+	"taq/internal/obs"
+	"taq/internal/packet"
+	"taq/internal/queue"
+	"taq/internal/sim"
+)
+
+// hotRootCase exercises one or more hotpath roots at steady state and
+// reports the AllocsPerRun observed.
+type hotRootCase struct {
+	// roots are the exact root names (types.Func.FullName form) this
+	// case claims from the analysis closure.
+	roots []string
+	run   func(t *testing.T) float64
+}
+
+// mkPackets returns count warmup packets spread over eight flows.
+func mkPackets(count int) []*packet.Packet {
+	pkts := make([]*packet.Packet, count)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{
+			Flow: packet.FlowID(i % 8), Kind: packet.Data,
+			Seq: i, Size: 500,
+		}
+	}
+	return pkts
+}
+
+// cycleDiscipline warms disc and measures a steady-state
+// enqueue/dequeue cycle.
+func cycleDiscipline(disc queue.Discipline, pkts []*packet.Packet) float64 {
+	for _, p := range pkts {
+		disc.Enqueue(p)
+	}
+	for disc.Dequeue() != nil {
+	}
+	i := 0
+	return testing.AllocsPerRun(1000, func() {
+		disc.Enqueue(pkts[i%len(pkts)])
+		disc.Dequeue()
+		i++
+	})
+}
+
+var hotRootCases = []hotRootCase{
+	{
+		roots: []string{
+			"(*taq/internal/queue.DropTail).Enqueue",
+			"(*taq/internal/queue.DropTail).Dequeue",
+		},
+		run: func(t *testing.T) float64 {
+			return cycleDiscipline(queue.NewDropTail(64), mkPackets(64))
+		},
+	},
+	{
+		roots: []string{
+			"(*taq/internal/queue.RED).Enqueue",
+			"(*taq/internal/queue.RED).Dequeue",
+		},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			red := queue.NewRED(queue.REDConfig{Capacity: 64, MeanPktTime: sim.Millisecond}, e.Now, e.Rand())
+			return cycleDiscipline(red, mkPackets(64))
+		},
+	},
+	{
+		roots: []string{
+			"(*taq/internal/queue.SFQ).Enqueue",
+			"(*taq/internal/queue.SFQ).Dequeue",
+		},
+		run: func(t *testing.T) float64 {
+			return cycleDiscipline(queue.NewSFQ(64, 64), mkPackets(64))
+		},
+	},
+	{
+		// The warmed TAQ cycle drives the whole per-packet path:
+		// classify, admission, class queues, and the tracker's lazy
+		// epoch roll (catchUp) on every observed packet.
+		roots: []string{
+			"(*taq/internal/core.TAQ).Enqueue",
+			"(*taq/internal/core.TAQ).Dequeue",
+			"(*taq/internal/core.flowInfo).catchUp",
+		},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
+			return cycleDiscipline(mb, mkPackets(64))
+		},
+	},
+	{
+		roots: []string{"(*taq/internal/core.TAQ).ObserveReverse"},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
+			pkts := mkPackets(64)
+			for _, p := range pkts {
+				mb.Enqueue(p)
+			}
+			for mb.Dequeue() != nil {
+			}
+			ack := &packet.Packet{Flow: 1, Kind: packet.Ack, Seq: 1, Size: 40}
+			return testing.AllocsPerRun(1000, func() {
+				mb.ObserveReverse(ack)
+			})
+		},
+	},
+	{
+		// The O(1) control-loop gauges, sampled together the way the
+		// scan (and an operator poll) reads them.
+		roots: []string{
+			"(*taq/internal/core.TAQ).ActiveFlows",
+			"(*taq/internal/core.TAQ).RecoveringFlows",
+			"(*taq/internal/core.TAQ).StateCensus",
+			"(*taq/internal/core.TAQ).FairShare",
+			"(*taq/internal/core.TAQ).LossRate",
+		},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
+			for _, p := range mkPackets(64) {
+				mb.Enqueue(p)
+			}
+			for mb.Dequeue() != nil {
+			}
+			var sink int
+			var sinkF float64
+			allocs := testing.AllocsPerRun(100, func() {
+				sink += mb.ActiveFlows()
+				sink += mb.RecoveringFlows()
+				c := mb.StateCensus()
+				sink += c[core.StateNormal]
+				sinkF += mb.FairShare()
+				sinkF += mb.LossRate()
+			})
+			_, _ = sink, sinkF
+			return allocs
+		},
+	},
+	{
+		roots: []string{"(*taq/internal/link.Link).Enqueue"},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			var got *packet.Packet
+			l := link.New(e, 1000*link.Kbps, sim.Millisecond, queue.NewDropTail(64), func(p *packet.Packet) { got = p })
+			pkts := mkPackets(8)
+			for _, p := range pkts {
+				l.Enqueue(p)
+			}
+			e.Run()
+			i := 0
+			allocs := testing.AllocsPerRun(1000, func() {
+				l.Enqueue(pkts[i%len(pkts)])
+				e.Run()
+				i++
+			})
+			_ = got
+			return allocs
+		},
+	},
+	{
+		roots: []string{"(*taq/internal/link.Pipe).Send"},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			var got *packet.Packet
+			pipe := link.NewPipe(e, sim.Millisecond, func(p *packet.Packet) { got = p })
+			pkts := mkPackets(8)
+			for _, p := range pkts {
+				pipe.Send(p)
+			}
+			e.Run()
+			i := 0
+			allocs := testing.AllocsPerRun(1000, func() {
+				pipe.Send(pkts[i%len(pkts)])
+				e.Run()
+				i++
+			})
+			_ = got
+			return allocs
+		},
+	},
+	{
+		// The engine's recycled fire-and-forget path: After allocates a
+		// timer only while the free list grows; at steady state each
+		// fired event returns its timer.
+		roots: []string{
+			"taq/internal/sim.After",
+			"(*taq/internal/sim.Engine).After",
+		},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			fn := func() {}
+			for i := 0; i < 64; i++ {
+				sim.After(e, sim.Millisecond, fn)
+			}
+			e.Run()
+			return testing.AllocsPerRun(1000, func() {
+				sim.After(e, sim.Millisecond, fn)
+				e.Run()
+			})
+		},
+	},
+	{
+		// The cancel-then-rearm churn of RTO and pacing timers: the
+		// handle is reused in place, so rearming never allocates.
+		roots: []string{
+			"taq/internal/sim.Reschedule",
+			"(*taq/internal/sim.Engine).Reschedule",
+		},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			fn := func() {}
+			tm := e.Schedule(sim.Second, fn)
+			return testing.AllocsPerRun(1000, func() {
+				tm = sim.Reschedule(e, tm, sim.Second, fn)
+			})
+		},
+	},
+	{
+		// The "zero overhead when off" contract: every tracing hook on
+		// a nil recorder must reduce to a branch.
+		roots: []string{
+			"(*taq/internal/obs.Recorder).Enqueue",
+			"(*taq/internal/obs.Recorder).Dequeue",
+			"(*taq/internal/obs.Recorder).Drop",
+			"(*taq/internal/obs.Recorder).TrackerTransition",
+			"(*taq/internal/obs.Recorder).TimeoutDetected",
+			"(*taq/internal/obs.Recorder).AdmissionDecision",
+			"(*taq/internal/obs.Recorder).ClassChange",
+		},
+		run: func(t *testing.T) float64 {
+			var r *obs.Recorder
+			p := &packet.Packet{Flow: 3, Kind: packet.Data, Seq: 7, Size: 500}
+			return testing.AllocsPerRun(1000, func() {
+				r.Enqueue(1, p, 0)
+				r.Dequeue(2, p, 0)
+				r.Drop(3, p, 0, false)
+				r.TrackerTransition(4, p.Flow, p.Pool, 0, 1)
+				r.TimeoutDetected(5, p.Flow, p.Pool, 1, 2)
+				r.AdmissionDecision(6, p.Pool, obs.AdmissionAdmitted)
+				r.ClassChange(7, p, 0, 1)
+			})
+		},
+	},
+}
+
+// TestHotpathRootsZeroAlloc runs every case and requires zero
+// allocations at steady state.
+func TestHotpathRootsZeroAlloc(t *testing.T) {
+	for _, tc := range hotRootCases {
+		tc := tc
+		t.Run(tc.roots[0], func(t *testing.T) {
+			if allocs := tc.run(t); allocs != 0 {
+				t.Fatalf("%v: %v allocs/op at steady state, want 0", tc.roots, allocs)
+			}
+		})
+	}
+}
+
+// TestHotpathTableMatchesClosure pins the table to the annotations:
+// the set of roots the analyzer discovers must equal the set the table
+// claims, so annotating a new hot path without a zero-alloc proof (or
+// deleting one and leaving a dead row) fails here.
+func TestHotpathTableMatchesClosure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	prog := analysis.NewProgram(pkgs)
+	declared := make(map[string]bool)
+	for _, r := range prog.Roots() {
+		declared[r.Name()] = true
+	}
+	claimed := make(map[string]bool)
+	for _, tc := range hotRootCases {
+		for _, name := range tc.roots {
+			if claimed[name] {
+				t.Errorf("root %s claimed by two table rows", name)
+			}
+			claimed[name] = true
+			if !declared[name] {
+				t.Errorf("table row claims %s, but no //taq:hotpath declares it", name)
+			}
+		}
+	}
+	for name := range declared {
+		if !claimed[name] {
+			t.Errorf("root %s is annotated but has no zero-alloc table row", name)
+		}
+	}
+}

@@ -48,6 +48,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Cfg      *Config
 	Pkg      *Package
+	// Prog is the whole-program context (call graph, hotpath closure)
+	// shared by every pass of one run; the v3 contract analyzers need
+	// it, the per-package analyzers ignore it.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -69,6 +73,20 @@ type Config struct {
 	// LockPackages lists the base names of packages whose mutex
 	// discipline lockdiscipline checks.
 	LockPackages []string
+	// NoallocPackages lists the base names of packages where noalloc
+	// reports findings on hotpath-closure functions. The closure is
+	// always computed whole-program; this scopes only the reporting,
+	// so conservatively reached setup code outside the packet path
+	// does not drown the signal.
+	NoallocPackages []string
+	// NoblockPackages is the same scope for noblock. It includes emu
+	// (whose engine-lock pattern is then allowlisted by name), since
+	// hot code dispatches into the emu engine through sim.Runner.
+	NoblockPackages []string
+	// NoblockAllow lists substrings of fully qualified function names
+	// (types.Func.FullName form) exempt from noblock — the emu
+	// engine-lock pattern, whose pairing lockdiscipline checks.
+	NoblockAllow []string
 	// Analyzers to run; nil means All().
 	Analyzers []*Analyzer
 }
@@ -93,6 +111,22 @@ func DefaultConfig() *Config {
 			"wallclock", "maprange", "timerleak", "detaint",
 		},
 		LockPackages: []string{"emu", "lockdiscipline"},
+		NoallocPackages: []string{
+			"sim", "queue", "link", "core", "packet", "obs",
+			// Fixtures (matched only when named explicitly, as above).
+			"hotpath", "noalloc",
+		},
+		NoblockPackages: []string{
+			"sim", "queue", "link", "core", "packet", "obs", "emu",
+			"hotpath", "noblock",
+		},
+		NoblockAllow: []string{
+			// The emu engine serializes real-timer callbacks through
+			// one mutex by design; lockdiscipline checks the pairing.
+			"taq/internal/emu.Engine",
+			// Fixture hook for the allowlist path.
+			"noblock.allowedEngine",
+		},
 	}
 }
 
@@ -107,6 +141,27 @@ func (c *Config) IsLockChecked(pkgPath string) bool {
 	return containsBase(c.LockPackages, pkgPath)
 }
 
+// IsNoallocChecked reports whether noalloc reports findings in pkgPath.
+func (c *Config) IsNoallocChecked(pkgPath string) bool {
+	return containsBase(c.NoallocPackages, pkgPath)
+}
+
+// IsNoblockChecked reports whether noblock reports findings in pkgPath.
+func (c *Config) IsNoblockChecked(pkgPath string) bool {
+	return containsBase(c.NoblockPackages, pkgPath)
+}
+
+// NoblockAllowed reports whether the qualified function name matches
+// the noblock allowlist.
+func (c *Config) NoblockAllowed(funcName string) bool {
+	for _, pat := range c.NoblockAllow {
+		if strings.Contains(funcName, pat) {
+			return true
+		}
+	}
+	return false
+}
+
 func containsBase(list []string, pkgPath string) bool {
 	base := path.Base(pkgPath)
 	for _, name := range list {
@@ -119,7 +174,7 @@ func containsBase(list []string, pkgPath string) bool {
 
 // All returns the full analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapRange, TimerLeak, LockDiscipline, TimerOwn, SimTime, Detaint}
+	return []*Analyzer{Wallclock, MapRange, TimerLeak, LockDiscipline, TimerOwn, SimTime, Detaint, NoAlloc, NoBlock, LockOrder}
 }
 
 // Run applies the configured analyzers to every package and returns the
@@ -129,10 +184,13 @@ func Run(pkgs []*Package, cfg *Config) []Diagnostic {
 	return diags
 }
 
-// RunAudit is Run plus suppression auditing: the second result lists
+// RunAudit is Run plus annotation auditing: the second result lists
 // one "audit" diagnostic per //taq:allow directive that suppressed
-// nothing. A directive is only judged stale against analyzers that
-// actually ran, so -only subsets never produce false stales.
+// nothing, plus one per malformed //taq: directive (unknown directive
+// word, empty analyzer list, misplaced //taq:hotpath) — a misspelled
+// suppression must fail -audit, not silently disable a gate. A
+// directive is only judged stale against analyzers that actually ran,
+// so -only subsets never produce false stales.
 func RunAudit(pkgs []*Package, cfg *Config) (diags, stale []Diagnostic) {
 	if cfg == nil {
 		cfg = DefaultConfig()
@@ -149,12 +207,13 @@ func RunAudit(pkgs []*Package, cfg *Config) (diags, stale []Diagnostic) {
 	for _, a := range All() {
 		known[a.Name] = true
 	}
+	prog := NewProgram(pkgs)
 	var out []Diagnostic
 	seen := make(map[string]bool)
 	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Cfg: cfg, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Cfg: cfg, Pkg: pkg, Prog: prog}
 			pass.report = func(d Diagnostic) {
 				if allow.suppressed(d) {
 					return
@@ -170,13 +229,17 @@ func RunAudit(pkgs []*Package, cfg *Config) (diags, stale []Diagnostic) {
 			a.Run(pass)
 		}
 		stale = append(stale, allow.stale(ran, known)...)
+		stale = append(stale, collectMalformed(pkg)...)
 	}
-	sortDiagnostics(out)
-	sortDiagnostics(stale)
+	SortDiagnostics(out)
+	SortDiagnostics(stale)
 	return out, stale
 }
 
-func sortDiagnostics(out []Diagnostic) {
+// SortDiagnostics orders diagnostics by (file, line, column, analyzer,
+// message) — the canonical order every output format relies on for
+// byte-stable output across packages.
+func SortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -212,21 +275,18 @@ type allowEntry struct {
 	used bool
 }
 
-const allowPrefix = "taq:allow"
-
 func collectAllows(pkg *Package) *allowSet {
 	s := &allowSet{byFile: make(map[string]map[int][]*allowEntry)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, allowPrefix) {
+				word, rest, ok := taqDirective(c.Text)
+				if !ok || word != "allow" {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
 				fields := strings.Fields(rest)
 				if len(fields) == 0 {
-					continue
+					continue // malformed; collectMalformed reports it
 				}
 				// First token is the analyzer list; anything after it
 				// is free-form rationale.
@@ -238,6 +298,9 @@ func collectAllows(pkg *Package) *allowSet {
 					s.byFile[pos.Filename] = lines
 				}
 				for _, name := range names {
+					if name == "" {
+						continue // malformed; collectMalformed reports it
+					}
 					e := &allowEntry{pos: pos, name: name}
 					lines[pos.Line] = append(lines[pos.Line], e)
 					s.entries = append(s.entries, e)
@@ -246,6 +309,67 @@ func collectAllows(pkg *Package) *allowSet {
 		}
 	}
 	return s
+}
+
+// collectMalformed reports //taq: directives the suite cannot honor:
+// unknown directive words (a typo like //taq:alow silently disables a
+// gate), allow directives with an empty or partially empty analyzer
+// list, and hotpath directives outside a function's doc comment. They
+// travel with the stale list so -audit exits non-zero on them.
+func collectMalformed(pkg *Package) []Diagnostic {
+	// Comments that legitimately host //taq:hotpath: doc comments of
+	// function declarations with bodies.
+	hotOK := make(map[*ast.Comment]bool)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				hotOK[c] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      pkg.Fset.Position(c.Pos()),
+			Analyzer: "audit",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				word, rest, ok := taqDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch word {
+				case "allow":
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						report(c, "malformed //taq:allow: missing analyzer list (want //taq:allow <name>[,<name>...] rationale)")
+						continue
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						if name == "" {
+							report(c, "malformed //taq:allow %s: empty analyzer name in list", fields[0])
+							break
+						}
+					}
+				case "hotpath":
+					if !hotOK[c] {
+						report(c, "misplaced //taq:hotpath: the directive must sit in the doc comment of a function declaration")
+					}
+				default:
+					report(c, "unknown directive //taq:%s (want allow or hotpath)", word)
+				}
+			}
+		}
+	}
+	return out
 }
 
 func (s *allowSet) suppressed(d Diagnostic) bool {

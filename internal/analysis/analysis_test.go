@@ -100,6 +100,98 @@ func TestTimerOwn(t *testing.T)       { runCase(t, "timerown", TimerOwn) }
 func TestSimTime(t *testing.T)        { runCase(t, "simtime", SimTime) }
 func TestDetaint(t *testing.T)        { runCase(t, "detaint", Detaint) }
 
+// The v3 contract analyzers: hotpath exercises closure propagation
+// (interface dispatch, function values, method values, line-scoped
+// transitive suppression); the other three exercise each analyzer's
+// full finding surface.
+func TestHotpathPropagation(t *testing.T) { runCase(t, "hotpath", NoAlloc) }
+func TestNoAlloc(t *testing.T)            { runCase(t, "noalloc", NoAlloc) }
+func TestNoBlock(t *testing.T)            { runCase(t, "noblock", NoBlock) }
+func TestLockOrder(t *testing.T)          { runCase(t, "lockorder", LockOrder) }
+
+// TestHotpathClosure pins the call-graph API the -roots baseline and
+// the alloc-test table rely on: the fixture root is listed, every
+// function it reaches (through any dispatch mechanism) is in the
+// closure, and the unreached twin is not.
+func TestHotpathClosure(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/hotpath")
+	if err != nil {
+		t.Fatalf("loading testdata/hotpath: %v", err)
+	}
+	prog := NewProgram(pkgs)
+	roots := prog.Roots()
+	if len(roots) != 1 || !strings.HasSuffix(roots[0].Name(), "hotpath.Root") {
+		t.Fatalf("Roots() = %v, want exactly hotpath.Root", roots)
+	}
+	hot := make(map[string]bool)
+	for _, n := range prog.HotNodes() {
+		hot[n.Name()] = true
+	}
+	for _, want := range []string{
+		"hotpath.Root",
+		"hotpath.Impl).Push",
+		"hotpath.viaValue",
+		"hotpath.holder).viaMethodValue",
+		"hotpath.transitive",
+	} {
+		found := false
+		for name := range hot {
+			if strings.Contains(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("closure is missing %s; hot = %v", want, hot)
+		}
+	}
+	for name := range hot {
+		if strings.Contains(name, "notHot") {
+			t.Errorf("closure wrongly contains %s", name)
+		}
+	}
+	// WriteRoots must be byte-stable: two renders agree.
+	var a, b strings.Builder
+	WriteRoots(&a, pkgs)
+	WriteRoots(&b, pkgs)
+	if a.String() != b.String() {
+		t.Error("WriteRoots output is not stable across calls")
+	}
+	if !strings.Contains(a.String(), "total ") {
+		t.Errorf("WriteRoots output missing total line:\n%s", a.String())
+	}
+}
+
+// TestAuditMalformed pins the -audit bugfix: malformed directives
+// (typoed directive word, missing or partially empty analyzer list,
+// misplaced hotpath, unknown analyzer name) must surface as audit
+// diagnostics so the driver exits non-zero.
+func TestAuditMalformed(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/malformed")
+	if err != nil {
+		t.Fatalf("loading testdata/malformed: %v", err)
+	}
+	_, stale := RunAudit(pkgs, testConfig(All()...))
+	for _, want := range []string{
+		"unknown directive //taq:alow",
+		"missing analyzer list",
+		"misplaced //taq:hotpath",
+		"empty analyzer name",
+		`unknown analyzer "wallclck"`,
+	} {
+		found := false
+		for _, d := range stale {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("audit is missing a diagnostic containing %q; got %v", want, stale)
+		}
+	}
+}
+
 // TestLoadErrorNamesPackage pins the exit-2 contract's prerequisite:
 // when a package fails to type-check, Load must surface a *LoadError
 // carrying the failing package's import path so the driver can name it.

@@ -97,19 +97,22 @@ type sarifRegion struct {
 // WriteSARIF writes the diagnostics as a single-run SARIF 2.1.0 log.
 // Every analyzer that could have fired is declared as a rule (plus the
 // synthetic "audit" rule), so rule metadata is stable across runs.
+// Rule ids are namespaced "taqvet/<analyzer>" so the analyzer name
+// survives into every result's ruleId even when logs from several
+// tools are merged by a SARIF consumer.
 func WriteSARIF(w io.Writer, diags []Diagnostic) error {
 	var rules []sarifRule
 	for _, a := range All() {
-		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		rules = append(rules, sarifRule{ID: sarifRuleID(a.Name), ShortDescription: sarifMessage{Text: a.Doc}})
 	}
 	rules = append(rules, sarifRule{
-		ID:               "audit",
-		ShortDescription: sarifMessage{Text: "stale //taq:allow suppression directives"},
+		ID:               sarifRuleID("audit"),
+		ShortDescription: sarifMessage{Text: "stale //taq:allow suppressions and malformed //taq: directives"},
 	})
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
 		results = append(results, sarifResult{
-			RuleID:  d.Analyzer,
+			RuleID:  sarifRuleID(d.Analyzer),
 			Level:   "error",
 			Message: sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{
@@ -132,6 +135,9 @@ func WriteSARIF(w io.Writer, diags []Diagnostic) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(log)
 }
+
+// sarifRuleID namespaces an analyzer name for SARIF consumers.
+func sarifRuleID(analyzer string) string { return "taqvet/" + analyzer }
 
 // sarifURI renders the filename as a forward-slash relative URI, the
 // form GitHub code scanning maps back onto the repository tree.

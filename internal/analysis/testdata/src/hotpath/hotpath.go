@@ -1,0 +1,64 @@
+// Package hotpath exercises //taq:hotpath closure propagation: the
+// root reaches code through interface dispatch, a stored function
+// value, a method value, and a plain static call; an identical
+// function outside the closure stays silent, and a //taq:allow
+// suppresses a transitive finding only at the offending line.
+package hotpath
+
+// Discipline mirrors the queue-discipline interface shape.
+type Discipline interface {
+	Push(v int)
+}
+
+// Impl is the only implementation; its Push is hot via dispatch.
+type Impl struct {
+	m map[int]int
+}
+
+// Push implements Discipline.
+func (i *Impl) Push(v int) {
+	i.m[v] = v // want `map access`
+}
+
+// viaValue is reached only through the stored function value.
+func viaValue(v int) {
+	s := make([]int, v) // want `make allocates`
+	_ = s
+}
+
+// holder carries the method reached as a method value.
+type holder struct{ m map[int]int }
+
+func (h *holder) viaMethodValue(v int) {
+	delete(h.m, v) // want `map delete`
+}
+
+// transitive is reached by a static call; the second finding is
+// suppressed exactly at its line (a directive also covers the line
+// below it, so the suppressed case sits last), the first still fires.
+func transitive(m map[int]int) {
+	_ = m[2] // want `map access`
+	_ = m[1] //taq:allow noalloc fixture: suppression is line-scoped
+}
+
+// notHot has the same body as transitive but is never reached: no
+// findings.
+func notHot(m map[int]int) {
+	_ = m[1]
+	_ = m[2]
+}
+
+var sink func(int)
+
+// Root is the declared hot path.
+//
+//taq:hotpath fixture root
+func Root(d Discipline, h *holder, m map[int]int) {
+	d.Push(1) // interface dispatch pulls (*Impl).Push in
+	f := viaValue
+	sink = f
+	sink(2) // indirect call: every address-taken func(int) is hot
+	g := h.viaMethodValue
+	g(3)
+	transitive(m)
+}

@@ -1,0 +1,66 @@
+// Package lockorder exercises the mutex-acquisition graph: an
+// inconsistent AB/BA ordering (a cycle), a consistent transitive
+// ordering (clean), and a recursive acquisition through a helper.
+package lockorder
+
+import "sync"
+
+// A, B and C are lock-carrying shard-like types.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+
+// ab acquires A then B.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle: \(lockorder.B\).mu acquired while \(lockorder.A\).mu is held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ba acquires B then A — inconsistent with ab.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle: \(lockorder.A\).mu acquired while \(lockorder.B\).mu is held`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// ac acquires C transitively while holding A; nothing orders C before
+// A anywhere, so the edge is clean.
+func ac(a *A, c *C) {
+	a.mu.Lock()
+	lockC(c)
+	a.mu.Unlock()
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// rec re-acquires a lock of type A through a helper while already
+// holding one: with structural lock identity this is either a
+// self-deadlock (same instance) or two shards taken without an agreed
+// order.
+func rec(a, other *A) {
+	a.mu.Lock()
+	lockA(other) // want `possible recursive acquisition: \(lockorder.A\).mu`
+	a.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Exercise keeps everything reachable and the compiler honest.
+func Exercise() {
+	var a A
+	var b B
+	var c C
+	ab(&a, &b)
+	ba(&a, &b)
+	ac(&a, &c)
+	rec(&a, &a)
+}

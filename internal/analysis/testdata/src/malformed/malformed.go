@@ -1,0 +1,26 @@
+// Package malformed exercises the -audit malformed-directive checks:
+// a typoed directive word, an allow with no analyzer list, an allow
+// with an empty name inside the list, and a hotpath directive outside
+// a function's doc comment.
+package malformed
+
+//taq:alow wallclock typoed directive word
+func A() {}
+
+// B carries a bare allow with no analyzer list.
+func B() {
+	_ = 1 //taq:allow
+}
+
+// T is not a function, so hotpath cannot root here.
+//
+//taq:hotpath misplaced
+type T struct{}
+
+//taq:allow wallclock,,maprange empty name in the list
+func C() {}
+
+// D carries an allow naming an analyzer that does not exist.
+func D() {
+	_ = 2 //taq:allow wallclck misspelled analyzer name
+}

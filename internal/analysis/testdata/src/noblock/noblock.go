@@ -1,0 +1,46 @@
+// Package noblock exercises the blocking-operation checks and the
+// NoblockAllow escape hatch (allowedEngine matches the fixture
+// allowlist pattern, so its lock acquisition is not reported).
+package noblock
+
+import (
+	"sync"
+	"time"
+)
+
+// E bundles a mutex and a channel.
+type E struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func work() {}
+
+// Hot is the fixture root.
+//
+//taq:hotpath covers every blocking source
+func Hot(e *E) {
+	e.mu.Lock() // want `sync acquisition`
+	e.mu.Unlock()
+	_ = time.Now()              // want `wall-clock call`
+	time.Sleep(time.Nanosecond) // want `wall-clock call`
+	e.ch <- 1                   // want `channel send`
+	<-e.ch                      // want `channel receive`
+	select {                    // want `select may block`
+	case v := <-e.ch: // want `channel receive`
+		_ = v
+	default:
+	}
+	go work()             // want `go statement`
+	for v := range e.ch { // want `range over channel`
+		_ = v
+	}
+	allowedEngine(e)
+}
+
+// allowedEngine matches Config.NoblockAllow; its acquisition is
+// exempt even though it is on the hot path.
+func allowedEngine(e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}

@@ -51,9 +51,9 @@ func (a *admission) allowSyn(pool packet.PoolID, lossRate float64) bool {
 		return true
 	}
 	now := a.run.Now()
-	pi, ok := a.pools[pool]
+	pi, ok := a.pools[pool] //taq:allow noalloc per-SYN pool lookup; ROADMAP item 2 flattens pool state
 	if !ok {
-		pi = &poolInfo{waitingSince: now}
+		pi = &poolInfo{waitingSince: now} //taq:allow noalloc once per pool lifetime, not per packet
 		a.pools[pool] = pi
 	}
 	pi.lastActive = now
@@ -88,7 +88,7 @@ func (a *admission) poolAdmitted(pool packet.PoolID) bool {
 	if pool == packet.PoolNone {
 		return true
 	}
-	pi, ok := a.pools[pool]
+	pi, ok := a.pools[pool] //taq:allow noalloc per-SYN pool lookup; ROADMAP item 2 flattens pool state
 	if ok {
 		pi.lastActive = a.run.Now()
 	}
@@ -110,7 +110,7 @@ func (a *admission) enqueueWaiting(pool packet.PoolID) {
 			return
 		}
 	}
-	a.waiting = append(a.waiting, pool)
+	a.waiting = append(a.waiting, pool) //taq:allow noalloc bounded by waiting pools; amortized growth
 }
 
 func (a *admission) removeWaiting(pool packet.PoolID) {

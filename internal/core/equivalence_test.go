@@ -184,23 +184,6 @@ func TestIncrementalEquivalenceSeeded(t *testing.T) {
 	}
 }
 
-// TestControlReadsZeroAlloc pins the cost of the O(1) control-loop
-// reads: sampling every tracker-backed gauge must not allocate.
-func TestControlReadsZeroAlloc(t *testing.T) {
-	_, q, _ := buildLoadedTAQ(t, 1000)
-	var sink int
-	var sinkF float64
-	allocs := testing.AllocsPerRun(100, func() {
-		sink += q.ActiveFlows()
-		sink += q.RecoveringFlows()
-		c := q.StateCensus()
-		sink += c[StateNormal]
-		sinkF += q.FairShare()
-		sinkF += q.LossRate()
-	})
-	_ = sink
-	_ = sinkF
-	if allocs != 0 {
-		t.Fatalf("control reads allocate %v times per sample, want 0", allocs)
-	}
-}
+// The zero-alloc proof for the O(1) control-loop reads lives in the
+// repo root's hotpath_alloc_test.go now, table-driven over every
+// declared //taq:hotpath root.

@@ -29,7 +29,7 @@ type deadlineHeap struct {
 func (h *deadlineHeap) len() int { return len(h.a) }
 
 func (h *deadlineHeap) push(dl sim.Time, f *flowInfo) {
-	h.a = append(h.a, deadlineEntry{dl: dl, f: f, gen: f.gen})
+	h.a = append(h.a, deadlineEntry{dl: dl, f: f, gen: f.gen}) //taq:allow noalloc amortized heap growth; capacity is retained across scans
 	i := len(h.a) - 1
 	for i > 0 {
 		parent := (i - 1) / 4

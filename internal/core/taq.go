@@ -56,6 +56,11 @@ type TAQ struct {
 	scanTimer *sim.Timer
 	stopped   bool
 
+	// victimScoreFn is t.victimScore bound once in New: evict passes
+	// it to BestVictim on every overflow, and a method value taken
+	// there would allocate a closure per eviction.
+	victimScoreFn func(packet.FlowID) float64
+
 	// Stats accumulates middlebox counters.
 	Stats Stats
 }
@@ -67,6 +72,7 @@ func New(run sim.Runner, cfg Config) *TAQ {
 	t.adm = newAdmission(run, cfg, &t.Stats)
 	t.fairShare = float64(cfg.Rate)
 	t.winStart = run.Now()
+	t.victimScoreFn = t.victimScore
 	return t
 }
 
@@ -141,6 +147,8 @@ func (t *TAQ) scan() {
 
 // LossRate returns the measured drop fraction over roughly the last
 // two loss windows.
+//
+//taq:hotpath O(1) control-loop gauge, sampled at scan cadence
 func (t *TAQ) LossRate() float64 {
 	arr := t.winArr + t.prevArr
 	if arr == 0 {
@@ -154,14 +162,20 @@ func (t *TAQ) LossRate() float64 {
 func (t *TAQ) LossEWMA() float64 { return t.lossEWMA }
 
 // FairShare returns the cached per-flow fair share in bits/second.
+//
+//taq:hotpath O(1) control-loop gauge, sampled at scan cadence
 func (t *TAQ) FairShare() float64 { return t.fairShare }
 
 // ActiveFlows returns the tracker's current active flow count.
+//
+//taq:hotpath O(1) control-loop gauge, sampled at scan cadence
 func (t *TAQ) ActiveFlows() int { return t.tracker.activeFlows() }
 
 // RecoveringFlows returns the number of tracked flows currently in a
 // loss-recovery or timeout state — the population the paper's fairness
 // argument protects. O(1): four reads of the maintained census.
+//
+//taq:hotpath O(1) control-loop gauge, sampled at scan cadence
 func (t *TAQ) RecoveringFlows() int {
 	c := &t.tracker.census
 	return c[StateLossRecovery] + c[StateTimeoutSilence] +
@@ -172,6 +186,8 @@ func (t *TAQ) RecoveringFlows() int {
 // state — the middlebox-side view used in the flow-evolution analysis.
 // The census is maintained on every transition, so this is a fixed-size
 // copy with no allocation.
+//
+//taq:hotpath O(1) control-loop gauge, sampled at scan cadence
 func (t *TAQ) StateCensus() Census { return t.tracker.stateCensus() }
 
 // WaitingPools returns the number of flow pools queued for admission.
@@ -190,6 +206,20 @@ func (t *TAQ) FlowStateOf(id packet.FlowID) (FlowState, bool) {
 		return 0, false
 	}
 	return f.state, true
+}
+
+// victimScore ranks eviction candidates for BestVictim: the flow's
+// catch-up-corrected rate EWMA, so among equally occupying flows the
+// fastest sender loses first. The full-table rescan rolled every
+// flow's epoch counters each scan; the incremental tracker rolls
+// lazily, so catch the flow up to the last scan first to read the
+// rate the rescan would have read.
+func (t *TAQ) victimScore(fl packet.FlowID) float64 {
+	if f := t.tracker.get(fl); f != nil {
+		f.catchUp(t.tracker.lastScan)
+		return f.rateEWMA
+	}
+	return 0
 }
 
 // flowFairShare returns the flow's fair share in bits/second under
@@ -240,6 +270,8 @@ func (t *TAQ) classify(p *packet.Packet, f *flowInfo, rtx bool) Class {
 }
 
 // Enqueue implements queue.Discipline.
+//
+//taq:hotpath TAQ per-packet classify/admit/enqueue path (§4)
 func (t *TAQ) Enqueue(p *packet.Packet) {
 	t.Stats.Arrivals++
 	t.winArr++
@@ -323,17 +355,7 @@ func (t *TAQ) evict() (*packet.Packet, Class) {
 		}
 		return nil, ClassAboveFair
 	}
-	score := func(fl packet.FlowID) float64 {
-		if f := t.tracker.get(fl); f != nil {
-			// The full-table rescan rolled every flow's epoch counters
-			// each scan; the incremental tracker rolls lazily. Catch
-			// this flow up to the last scan so the rate estimate
-			// matches what the rescan would have read.
-			f.catchUp(t.tracker.lastScan)
-			return f.rateEWMA
-		}
-		return 0
-	}
+	score := t.victimScoreFn
 	if t.q.fifos[ClassAboveFair].Len() > 0 {
 		fl, _, _ := t.q.fifos[ClassAboveFair].BestVictim(score)
 		return t.q.fifos[ClassAboveFair].PopFlow(fl), ClassAboveFair
@@ -400,6 +422,8 @@ func (t *TAQ) recordDrop(p *packet.Packet, class Class, rtx bool) {
 
 // Dequeue implements queue.Discipline: the three-level hierarchical
 // scheduler of §4.2.
+//
+//taq:hotpath TAQ per-packet scheduling path (§4.2)
 func (t *TAQ) Dequeue() *packet.Packet {
 	// Level 1: Recovery — strict priority, but rate-capped so
 	// retransmissions cannot monopolize the link.
@@ -445,6 +469,8 @@ func (t *TAQ) serve(p *packet.Packet, class Class) *packet.Packet {
 // deployed where it sees two-way traffic (§3.3's conventional mode).
 // The packet is only observed, never queued; the resulting downstream
 // and upstream RTT halves replace the one-way epoch heuristics.
+//
+//taq:hotpath runs per ACK in two-way deployments (§3.3)
 func (t *TAQ) ObserveReverse(p *packet.Packet) { t.tracker.observeReverse(p) }
 
 // FlowEpoch exposes a flow's current epoch (RTT) estimate.

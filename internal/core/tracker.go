@@ -187,6 +187,8 @@ func (f *flowInfo) roll(now sim.Time) {
 // epoch shrink could cross a boundary the old schedule never saw
 // (the shrink can pull epochStart+epoch behind a point the flow was
 // already rolled past), mis-bucketing that epoch's counters.
+//
+//taq:hotpath runs per observed packet to roll epoch counters
 func (f *flowInfo) catchUp(x sim.Time) {
 	if x <= f.rolledTo {
 		return
@@ -276,10 +278,10 @@ func newTracker(run sim.Runner, cfg Config) *tracker {
 	}
 }
 
-func (t *tracker) get(id packet.FlowID) *flowInfo { return t.flows[id] }
+func (t *tracker) get(id packet.FlowID) *flowInfo { return t.flows[id] } //taq:allow noalloc per-packet flow lookup; ROADMAP item 2 replaces the map
 
 func (t *tracker) getOrCreate(p *packet.Packet) *flowInfo {
-	f, ok := t.flows[p.Flow]
+	f, ok := t.flows[p.Flow] //taq:allow noalloc per-packet flow lookup; ROADMAP item 2 replaces the map
 	if !ok {
 		now := t.run.Now()
 		if n := len(t.free); n > 0 {
@@ -290,18 +292,18 @@ func (t *tracker) getOrCreate(p *packet.Packet) *flowInfo {
 			*f = flowInfo{}
 			f.gen = gen
 		} else {
-			f = &flowInfo{}
+			f = &flowInfo{} //taq:allow noalloc free-list refill; evictFlow recycles records
 		}
 		f.id, f.pool, f.state = p.Flow, p.Pool, StateNew
 		f.created, f.synAt = now, now
 		f.epoch, f.epochStart, f.lastPkt = t.cfg.DefaultEpoch, now, now
 		f.highSeq, f.sampleSeq, f.lastClass = -1, -1, -1
-		t.flows[p.Flow] = f
+		t.flows[p.Flow] = f //taq:allow noalloc once per tracked flow; ROADMAP item 2 replaces the map
 		t.census[StateNew]++
 		if p.Pool != packet.PoolNone {
-			e := t.pools[p.Pool]
+			e := t.pools[p.Pool] //taq:allow noalloc once per tracked flow; ROADMAP item 2 replaces the map
 			if e == nil {
-				e = &poolEntry{}
+				e = &poolEntry{} //taq:allow noalloc once per pool lifetime (store on the next line rides the same allow)
 				t.pools[p.Pool] = e
 			}
 			e.refs++
@@ -612,7 +614,7 @@ func (t *tracker) applyCount(f *flowInfo, on bool) {
 		}
 		return
 	}
-	e := t.pools[f.pool] // exists while the flow is tracked (refs > 0)
+	e := t.pools[f.pool] //taq:allow noalloc lookup of an entry that exists while refs > 0; ROADMAP item 2 replaces the map
 	if e.stamp != t.stamp {
 		e.snap = e.cur
 		e.stamp = t.stamp
@@ -840,7 +842,7 @@ func (t *tracker) snapshotPools() (pools int) {
 // poolCount returns pool's active flow count as of the last
 // snapshotPools barrier (0 for unknown or inactive pools).
 func (t *tracker) poolCount(pool packet.PoolID) int {
-	e := t.pools[pool]
+	e := t.pools[pool] //taq:allow noalloc per-SYN pool lookup; ROADMAP item 2 replaces the map
 	if e == nil {
 		return 0
 	}

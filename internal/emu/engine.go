@@ -69,9 +69,15 @@ func (e *Engine) Schedule(delay sim.Time, fn func()) *sim.Timer {
 		}
 		fn()
 	})
-	tm.SetStop(func() { t.Stop() })
+	tm.SetStop(wallTimer{t})
 	return tm
 }
+
+// wallTimer adapts *time.Timer to sim.TimerStopper.
+type wallTimer struct{ t *time.Timer }
+
+// StopTimer implements sim.TimerStopper.
+func (w wallTimer) StopTimer() { w.t.Stop() }
 
 // Post runs fn under the engine lock, serialized with callbacks. Use
 // it for scenario setup and for reading results.

@@ -40,6 +40,16 @@ type Link struct {
 	deliver func(*packet.Packet)
 	rec     *obs.Recorder
 
+	// txPkt is the packet currently serializing. prop holds packets in
+	// propagation: the delay is constant, so propagation arrivals occur
+	// in departure order and a FIFO carries exactly the per-packet state
+	// the delivery closures used to capture. txDone and deliverNext are
+	// bound once in New so the per-packet path allocates no closures.
+	txPkt       *packet.Packet
+	prop        queue.FIFO
+	txDone      func()
+	deliverNext func()
+
 	// Stats.
 	SentPackets  uint64
 	SentBytes    uint64
@@ -50,7 +60,12 @@ type Link struct {
 // New returns a link draining disc at rate with propagation delay,
 // handing packets to deliver after serialization+propagation.
 func New(run sim.Runner, rate Bps, delay sim.Time, disc queue.Discipline, deliver func(*packet.Packet)) *Link {
-	return &Link{run: run, rate: rate, delay: delay, disc: disc, deliver: deliver}
+	l := &Link{run: run, rate: rate, delay: delay, disc: disc, deliver: deliver}
+	// Bind the timer callbacks once: a method value allocates, so taking
+	// them here keeps pump/finishTx closure-free per packet.
+	l.txDone = l.finishTx
+	l.deliverNext = l.deliverHead
+	return l
 }
 
 // Discipline returns the queue discipline, e.g. for stats.
@@ -67,6 +82,8 @@ func (l *Link) Rate() Bps { return l.rate }
 
 // Enqueue offers p to the link's queue and starts transmission if the
 // link is idle. Drops are reported through the discipline's drop hook.
+//
+//taq:hotpath every packet of every experiment crosses the bottleneck here
 func (l *Link) Enqueue(p *packet.Packet) {
 	p.Enqueued = l.run.Now()
 	if l.rec != nil {
@@ -88,20 +105,34 @@ func (l *Link) pump() {
 		l.rec.Dequeue(l.run.Now(), p, -1)
 	}
 	l.busy = true
+	l.txPkt = p
 	tx := l.rate.TxTime(p.Size)
 	l.BusyTime += tx
-	// Fire-and-forget per-packet events go through sim.After so the
-	// engine can recycle the timer allocation: this pair is the hottest
-	// scheduling site in every experiment.
-	sim.After(l.run, tx, func() {
-		l.busy = false
-		l.SentPackets++
-		l.SentBytes += uint64(p.Size)
-		l.lastTxFinish = l.run.Now()
-		d := p
-		sim.After(l.run, l.delay, func() { l.deliver(d) })
-		l.pump()
-	})
+	// Fire-and-forget per-packet events go through sim.After with the
+	// prebuilt callback so the hottest scheduling site in every
+	// experiment allocates neither a timer nor a closure.
+	sim.After(l.run, tx, l.txDone)
+}
+
+// finishTx runs when the serializing packet's last bit leaves the
+// link: it moves the packet into the propagation FIFO, schedules its
+// delivery one propagation delay out, and starts the next
+// transmission.
+func (l *Link) finishTx() {
+	p := l.txPkt
+	l.txPkt = nil
+	l.busy = false
+	l.SentPackets++
+	l.SentBytes += uint64(p.Size)
+	l.lastTxFinish = l.run.Now()
+	l.prop.Push(p)
+	sim.After(l.run, l.delay, l.deliverNext)
+	l.pump()
+}
+
+// deliverHead hands the oldest in-propagation packet to the sink.
+func (l *Link) deliverHead() {
+	l.deliver(l.prop.Pop())
 }
 
 // Utilization returns BusyTime divided by elapsed, the fraction of time
@@ -119,15 +150,30 @@ type Pipe struct {
 	run     sim.Runner
 	delay   sim.Time
 	deliver func(*packet.Packet)
+
+	// inflight and deliverNext mirror Link's closure-free delivery: the
+	// constant delay makes deliveries FIFO, so one prebuilt callback
+	// popping a FIFO replaces a closure per packet.
+	inflight    queue.FIFO
+	deliverNext func()
 }
 
 // NewPipe returns a fixed-delay lossless link.
 func NewPipe(run sim.Runner, delay sim.Time, deliver func(*packet.Packet)) *Pipe {
-	return &Pipe{run: run, delay: delay, deliver: deliver}
+	p := &Pipe{run: run, delay: delay, deliver: deliver}
+	p.deliverNext = p.deliverHead
+	return p
 }
 
 // Send delivers p after the pipe's delay.
+//
+//taq:hotpath per-packet path of every access link and the ACK return path
 func (p *Pipe) Send(pkt *packet.Packet) {
-	d := pkt
-	sim.After(p.run, p.delay, func() { p.deliver(d) })
+	p.inflight.Push(pkt)
+	sim.After(p.run, p.delay, p.deliverNext)
+}
+
+// deliverHead hands the oldest in-flight packet to the sink.
+func (p *Pipe) deliverHead() {
+	p.deliver(p.inflight.Pop())
 }

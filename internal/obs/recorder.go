@@ -152,6 +152,8 @@ func (r *Recorder) Events() []Event {
 
 // Enqueue records a packet being offered to the bottleneck queue.
 // class is the assigned TAQ class, -1 when the discipline has none.
+//
+//taq:hotpath nil-receiver tracing hook on the per-packet path
 func (r *Recorder) Enqueue(now sim.Time, p *packet.Packet, class int8) {
 	if r == nil {
 		return
@@ -164,6 +166,8 @@ func (r *Recorder) Enqueue(now sim.Time, p *packet.Packet, class int8) {
 }
 
 // Dequeue records a packet leaving the queue onto the link.
+//
+//taq:hotpath nil-receiver tracing hook on the per-packet path
 func (r *Recorder) Dequeue(now sim.Time, p *packet.Packet, class int8) {
 	if r == nil {
 		return
@@ -178,6 +182,8 @@ func (r *Recorder) Dequeue(now sim.Time, p *packet.Packet, class int8) {
 // Drop records a packet drop. class is the victim's TAQ class (-1 for
 // baseline disciplines); rtx marks a dropped retransmission — the §4.1
 // event that forces a timeout.
+//
+//taq:hotpath nil-receiver tracing hook on the per-packet path
 func (r *Recorder) Drop(now sim.Time, p *packet.Packet, class int8, rtx bool) {
 	if r == nil {
 		return
@@ -195,6 +201,8 @@ func (r *Recorder) Drop(now sim.Time, p *packet.Packet, class int8, rtx bool) {
 
 // TrackerTransition records the flow tracker moving flow between
 // approximate states (codes are core.FlowState values).
+//
+//taq:hotpath nil-receiver tracing hook on the per-packet path
 func (r *Recorder) TrackerTransition(now sim.Time, flow packet.FlowID, pool packet.PoolID, from, to int8) {
 	if r == nil {
 		return
@@ -207,6 +215,8 @@ func (r *Recorder) TrackerTransition(now sim.Time, flow packet.FlowID, pool pack
 
 // TimeoutDetected records the tracker concluding a flow entered a
 // timeout (or repetitive-timeout) silence.
+//
+//taq:hotpath nil-receiver tracing hook on the tracker path
 func (r *Recorder) TimeoutDetected(now sim.Time, flow packet.FlowID, pool packet.PoolID, from, to int8) {
 	if r == nil {
 		return
@@ -220,6 +230,8 @@ func (r *Recorder) TimeoutDetected(now sim.Time, flow packet.FlowID, pool packet
 // AdmissionDecision records an admission-control ruling on a pool's
 // SYN; decision is AdmissionBlocked, AdmissionAdmitted or
 // AdmissionForced.
+//
+//taq:hotpath nil-receiver tracing hook on the admission path
 func (r *Recorder) AdmissionDecision(now sim.Time, pool packet.PoolID, decision uint8) {
 	if r == nil {
 		return
@@ -233,6 +245,8 @@ func (r *Recorder) AdmissionDecision(now sim.Time, pool packet.PoolID, decision 
 // ClassChange records TAQ classifying a flow's packet into a different
 // class than its previous packet (codes are core.Class values; from is
 // -1 on the flow's first classification).
+//
+//taq:hotpath nil-receiver tracing hook on the per-packet path
 func (r *Recorder) ClassChange(now sim.Time, p *packet.Packet, from, to int8) {
 	if r == nil {
 		return

@@ -24,6 +24,8 @@ func NewDropTail(capacity int) *DropTail {
 func (q *DropTail) Capacity() int { return q.capacity }
 
 // Enqueue implements Discipline.
+//
+//taq:hotpath per-packet path of the paper's DT baseline
 func (q *DropTail) Enqueue(p *packet.Packet) {
 	if q.fifo.Len() >= q.capacity {
 		q.Drop(p)
@@ -33,6 +35,8 @@ func (q *DropTail) Enqueue(p *packet.Packet) {
 }
 
 // Dequeue implements Discipline.
+//
+//taq:hotpath per-packet path of the paper's DT baseline
 func (q *DropTail) Dequeue() *packet.Packet { return q.fifo.Pop() }
 
 // Len implements Discipline.

@@ -130,7 +130,7 @@ func (f *FIFO) grow() {
 	if size == 0 {
 		size = 16
 	}
-	nb := make([]*packet.Packet, size)
+	nb := make([]*packet.Packet, size) //taq:allow noalloc amortized doubling; capacity is retained for the FIFO's lifetime
 	for i := 0; i < f.n; i++ {
 		nb[i] = f.buf[(f.head+i)%len(f.buf)]
 	}

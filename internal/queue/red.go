@@ -77,6 +77,8 @@ func NewRED(cfg REDConfig, now func() sim.Time, rng *rand.Rand) *RED {
 func (q *RED) AvgQueue() float64 { return q.avg }
 
 // Enqueue implements Discipline.
+//
+//taq:hotpath per-packet path of the RED baseline
 func (q *RED) Enqueue(p *packet.Packet) {
 	// Update the average queue size, decaying across idle periods.
 	if q.fifo.Len() == 0 && q.idleSince >= 0 {
@@ -128,6 +130,8 @@ func (q *RED) Enqueue(p *packet.Packet) {
 }
 
 // Dequeue implements Discipline.
+//
+//taq:hotpath per-packet path of the RED baseline
 func (q *RED) Dequeue() *packet.Packet {
 	p := q.fifo.Pop()
 	if p != nil && q.fifo.Len() == 0 {

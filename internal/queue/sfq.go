@@ -46,6 +46,8 @@ func (q *SFQ) bucketOf(f packet.FlowID) int {
 }
 
 // Enqueue implements Discipline.
+//
+//taq:hotpath per-packet path of the SFQ baseline
 func (q *SFQ) Enqueue(p *packet.Packet) {
 	b := q.bucketOf(p.Flow)
 	q.buckets[b].Push(p)
@@ -73,6 +75,8 @@ func (q *SFQ) dropFromLongest() {
 }
 
 // Dequeue implements Discipline.
+//
+//taq:hotpath per-packet path of the SFQ baseline
 func (q *SFQ) Dequeue() *packet.Packet {
 	if q.len == 0 {
 		return nil

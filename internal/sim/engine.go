@@ -41,6 +41,8 @@ type rescheduleRunner interface {
 // ticks) that are never canceled: runners that support it recycle the
 // underlying timer allocation, which is the per-event hot path of every
 // experiment sweep. Falls back to Schedule on runners that don't.
+//
+//taq:hotpath per-event scheduling entry of every packet delivery
 func After(r Runner, delay Time, fn func()) {
 	if a, ok := r.(afterRunner); ok {
 		a.After(delay, fn)
@@ -54,6 +56,8 @@ func After(r Runner, delay Time, fn func()) {
 // cancel-then-rearm idiom of RTO and pacing timers without the per-arm
 // allocation. t may be nil. The caller must hold the only reference to
 // t and must replace it with the returned handle.
+//
+//taq:hotpath per-event rearm entry of RTO and pacing timers
 func Reschedule(r Runner, t *Timer, delay Time, fn func()) *Timer {
 	if rr, ok := r.(rescheduleRunner); ok {
 		return rr.Reschedule(t, delay, fn)
@@ -77,9 +81,18 @@ type Timer struct {
 	noHandle bool
 	// eng is the owning Engine, nil for external timers.
 	eng *Engine
-	// stop is set by the real-time engine to a function that stops the
-	// underlying wall-clock timer.
-	stop func()
+	// stop is set by the real-time engine to stop the underlying
+	// wall-clock timer. It is an interface rather than a func() so the
+	// cancel path carries no closure and stays statically resolvable
+	// (taqvet's hotpath closure would otherwise have to treat every
+	// address-taken thunk in the program as a Cancel callee).
+	stop TimerStopper
+}
+
+// TimerStopper stops the wall-clock timer backing an external Timer
+// handle when that handle is canceled.
+type TimerStopper interface {
+	StopTimer()
 }
 
 // Cancel prevents the timer's callback from running. The callback
@@ -97,7 +110,7 @@ func (t *Timer) Cancel() {
 		t.index = -1
 	}
 	if t.stop != nil {
-		t.stop()
+		t.stop.StopTimer()
 	}
 }
 
@@ -109,9 +122,9 @@ func (t *Timer) Canceled() bool { return t != nil && t.canceled }
 // The caller is responsible for honoring Canceled before firing.
 func ExternalTimer(at Time) *Timer { return &Timer{at: at, index: -1} }
 
-// SetStop registers fn to run when the timer is canceled, letting
+// SetStop registers s to run when the timer is canceled, letting
 // external Runners stop their underlying wall-clock timers.
-func (t *Timer) SetStop(fn func()) { t.stop = fn }
+func (t *Timer) SetStop(s TimerStopper) { t.stop = s }
 
 // When returns the virtual time the timer is (or was) due to fire.
 func (t *Timer) When() Time { return t.at }
@@ -138,7 +151,7 @@ func (h *timerHeap) less(a, b *Timer) bool {
 // push inserts t and records its index.
 func (h *timerHeap) push(t *Timer) {
 	t.index = len(h.items)
-	h.items = append(h.items, t)
+	h.items = append(h.items, t) //taq:allow noalloc amortized heap growth; capacity is retained across events
 	h.siftUp(t.index)
 }
 
@@ -276,6 +289,8 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
 // This is the allocation-free path for the per-packet events that
 // dominate simulation runs. Prefer the package-level sim.After when
 // holding a Runner interface.
+//
+//taq:hotpath engine fast path: recycled fire-and-forget timers
 func (e *Engine) After(delay Time, fn func()) {
 	if delay < 0 {
 		delay = 0
@@ -290,6 +305,8 @@ func (e *Engine) After(delay Time, fn func()) {
 // be nil) and the caller must hold its only reference; the returned
 // handle replaces it. This is the allocation-free path for the
 // cancel-then-rearm churn of RTO, pacing and scan timers.
+//
+//taq:hotpath engine fast path: in-place timer rearm
 func (e *Engine) Reschedule(t *Timer, delay Time, fn func()) *Timer {
 	if delay < 0 {
 		delay = 0
@@ -326,7 +343,7 @@ func (e *Engine) alloc(at Time, fn func()) *Timer {
 		t.canceled = false
 		t.noHandle = false
 	} else {
-		t = &Timer{eng: e}
+		t = &Timer{eng: e} //taq:allow noalloc free-list refill; fired noHandle timers recycle
 	}
 	t.at = at
 	t.seq = e.seq
