@@ -46,7 +46,7 @@ fuzz:
 # BENCH_results.json (see EXPERIMENTS.md's benchmark section).
 bench:
 	$(GO) test -run='^$$' -bench 'Engine|Discipline' -benchmem ./internal/sim .
-	$(GO) test -run='^$$' -bench 'TrackerScan|GaugeSample' -benchmem ./internal/core
+	$(GO) test -run='^$$' -bench 'TrackerScan|FlowLookup|FlowMemory|GaugeSample' -benchmem ./internal/core
 	$(GO) run ./cmd/taqbench -json -scale $(BENCHSCALE) -out BENCH_results.json
 
 check: build vet taqvet-sarif test race

@@ -47,6 +47,9 @@ func RunTrackerScale(scale Scale, seed int64) ScaleResult {
 	if scale >= 0.5 {
 		counts = append(counts, 100_000)
 	}
+	if scale >= 1 {
+		counts = append(counts, 1_000_000)
+	}
 	duration := scale.duration(300*sim.Second, 90*sim.Second)
 	points := runSweep(counts, func(_ int, flows int) ScalePoint {
 		return runScalePoint(flows, duration, seed)

@@ -103,6 +103,31 @@ var hotRootCases = []hotRootCase{
 		},
 	},
 	{
+		// One probe of the open-addressed flow index, hit and miss: no
+		// Go map access, no allocation.
+		roots: []string{"(*taq/internal/core.TAQ).FlowStateOf"},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
+			for _, p := range mkPackets(64) {
+				mb.Enqueue(p)
+			}
+			for mb.Dequeue() != nil {
+			}
+			var sink int
+			allocs := testing.AllocsPerRun(1000, func() {
+				if s, ok := mb.FlowStateOf(3); ok {
+					sink += int(s)
+				}
+				if _, ok := mb.FlowStateOf(9999); ok {
+					sink++
+				}
+			})
+			_ = sink
+			return allocs
+		},
+	},
+	{
 		roots: []string{"(*taq/internal/core.TAQ).ObserveReverse"},
 		run: func(t *testing.T) float64 {
 			e := sim.NewEngine(1)
@@ -268,6 +293,47 @@ func TestHotpathRootsZeroAlloc(t *testing.T) {
 				t.Fatalf("%v: %v allocs/op at steady state, want 0", tc.roots, allocs)
 			}
 		})
+	}
+}
+
+// TestFlowStoreZeroAlloc churns the flat flow store at steady state:
+// every iteration creates a brand-new flow — exercising getOrCreate's
+// free-list recycle path and the open-addressed insert — while a fast
+// scan cadence expires old flows, so slots and index buckets are
+// recycled rather than grown. Creation, the lookup hit and miss
+// probes, expiry eviction, and the deadline-heap traffic they generate
+// must all run allocation-free.
+func TestFlowStoreZeroAlloc(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := core.DefaultConfig(1000*link.Kbps, 64)
+	cfg.DefaultEpoch = 5 * sim.Millisecond
+	cfg.ScanInterval = 10 * sim.Millisecond
+	cfg.FlowExpiry = 40 * sim.Millisecond
+	mb := core.New(e, cfg)
+	mb.Start()
+	defer mb.Stop()
+
+	const warmup, runs = 1500, 1000
+	pkts := make([]*packet.Packet, warmup+runs+2)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Flow: packet.FlowID(i + 1), Kind: packet.Data, Size: 500}
+	}
+	i := 0
+	step := func() {
+		mb.Enqueue(pkts[i])
+		mb.Dequeue()
+		if _, ok := mb.FlowStateOf(pkts[i].Flow); !ok {
+			t.Fatal("freshly created flow is not tracked")
+		}
+		mb.FlowStateOf(packet.FlowID(-1)) // miss probe
+		i++
+		e.RunUntil(e.Now() + sim.Millisecond)
+	}
+	for i < warmup {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(runs, step); allocs != 0 {
+		t.Fatalf("flow churn: %v allocs/op at steady state, want 0", allocs)
 	}
 }
 

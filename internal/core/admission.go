@@ -7,12 +7,60 @@ import (
 )
 
 // poolInfo tracks one flow pool (a set of inter-related flows from the
-// same application session, §4.3).
+// same application session, §4.3). Records live in the admission
+// controller's flat table, not behind individual heap pointers.
 type poolInfo struct {
-	admitted     bool
 	waitingSince sim.Time
 	lastActive   sim.Time
+	key          packet.PoolID
+	admitted     bool
 	waited       bool
+	inUse        bool
+}
+
+// admPoolTable is the admission controller's pool state in the same
+// flat open-addressed shape as the tracker's stores (flowstore.go):
+// poolInfo records in a slice, a free list of expired slots, and an
+// oaIndex from PoolID → slot, so the admission decision on the packet
+// path does no Go map access.
+type admPoolTable struct {
+	recs []poolInfo
+	free []int32
+	idx  oaIndex // PoolID → slot
+}
+
+// lookup returns pool's record, or nil.
+func (pt *admPoolTable) lookup(pool packet.PoolID) *poolInfo {
+	slot, ok := pt.idx.get(int32(pool))
+	if !ok {
+		return nil
+	}
+	return &pt.recs[slot]
+}
+
+// create files a zeroed record for pool (which must be absent).
+func (pt *admPoolTable) create(pool packet.PoolID) *poolInfo {
+	var slot int32
+	if n := len(pt.free); n > 0 {
+		slot = pt.free[n-1]
+		pt.free = pt.free[:n-1]
+		pt.recs[slot] = poolInfo{}
+	} else {
+		slot = int32(len(pt.recs))
+		pt.recs = append(pt.recs, poolInfo{}) //taq:allow noalloc amortized pool-array growth; expired slots are free-list recycled
+	}
+	pi := &pt.recs[slot]
+	pi.key, pi.inUse = pool, true
+	pt.idx.put(int32(pool), slot)
+	return pi
+}
+
+// releaseSlot unfiles the record in slot and recycles it.
+func (pt *admPoolTable) releaseSlot(slot int32) {
+	pi := &pt.recs[slot]
+	pt.idx.del(int32(pi.key))
+	pi.inUse = false
+	pt.free = append(pt.free, slot)
 }
 
 // admission implements §4.3 flow-pool admission control: a flow is
@@ -24,7 +72,7 @@ type poolInfo struct {
 type admission struct {
 	cfg     Config
 	run     sim.Runner
-	pools   map[packet.PoolID]*poolInfo
+	pools   admPoolTable
 	waiting []packet.PoolID
 	stats   *Stats
 	// lastForceAdmit paces Twait-guaranteed admissions to one pool
@@ -36,7 +84,7 @@ type admission struct {
 }
 
 func newAdmission(run sim.Runner, cfg Config, stats *Stats) *admission {
-	return &admission{cfg: cfg, run: run, pools: make(map[packet.PoolID]*poolInfo), stats: stats}
+	return &admission{cfg: cfg, run: run, stats: stats}
 }
 
 // threshold is the admit-below loss rate: p_thresh shaved by the
@@ -51,10 +99,10 @@ func (a *admission) allowSyn(pool packet.PoolID, lossRate float64) bool {
 		return true
 	}
 	now := a.run.Now()
-	pi, ok := a.pools[pool] //taq:allow noalloc per-SYN pool lookup; ROADMAP item 2 flattens pool state
-	if !ok {
-		pi = &poolInfo{waitingSince: now} //taq:allow noalloc once per pool lifetime, not per packet
-		a.pools[pool] = pi
+	pi := a.pools.lookup(pool)
+	if pi == nil {
+		pi = a.pools.create(pool)
+		pi.waitingSince = now
 	}
 	pi.lastActive = now
 	if pi.admitted {
@@ -88,11 +136,12 @@ func (a *admission) poolAdmitted(pool packet.PoolID) bool {
 	if pool == packet.PoolNone {
 		return true
 	}
-	pi, ok := a.pools[pool] //taq:allow noalloc per-SYN pool lookup; ROADMAP item 2 flattens pool state
-	if ok {
-		pi.lastActive = a.run.Now()
+	pi := a.pools.lookup(pool)
+	if pi == nil {
+		return false
 	}
-	return ok && pi.admitted
+	pi.lastActive = a.run.Now()
+	return pi.admitted
 }
 
 func (a *admission) admit(pool packet.PoolID, pi *poolInfo) {
@@ -123,12 +172,17 @@ func (a *admission) removeWaiting(pool packet.PoolID) {
 }
 
 // expire evicts pools inactive longer than the flow expiry (waiting
-// pools are kept: their Twait guarantee must survive).
+// pools are kept: their Twait guarantee must survive). The walk runs in
+// slot order over the flat table — deterministic, unlike the map
+// iteration it replaced — and doubles as the index's off-packet-path
+// growth point.
 func (a *admission) expire() {
+	a.pools.idx.maybeGrow()
 	now := a.run.Now()
-	for id, pi := range a.pools {
-		if pi.admitted && now-pi.lastActive > a.cfg.FlowExpiry {
-			delete(a.pools, id)
+	for i := range a.pools.recs {
+		pi := &a.pools.recs[i]
+		if pi.inUse && pi.admitted && now-pi.lastActive > a.cfg.FlowExpiry {
+			a.pools.releaseSlot(int32(i))
 		}
 	}
 }
@@ -142,8 +196,8 @@ func (a *admission) waitingPools() int { return len(a.waiting) }
 // §4.3: a proxy-mode middlebox can surface this to the user as "a
 // visible queue of requests with expected wait times".
 func (a *admission) expectedWait(pool packet.PoolID) sim.Time {
-	pi, ok := a.pools[pool]
-	if !ok || pi.admitted {
+	pi := a.pools.lookup(pool)
+	if pi == nil || pi.admitted {
 		return 0
 	}
 	pos := -1
@@ -158,7 +212,7 @@ func (a *admission) expectedWait(pool packet.PoolID) sim.Time {
 	}
 	now := a.run.Now()
 	// Head of line: the remainder of its own (and the pacer's) Twait.
-	headWait := a.cfg.Twait - (now - a.pools[a.waiting[0]].waitingSince)
+	headWait := a.cfg.Twait - (now - a.pools.lookup(a.waiting[0]).waitingSince)
 	if pace := a.cfg.Twait - (now - a.lastForceAdmit); pace > headWait {
 		headWait = pace
 	}

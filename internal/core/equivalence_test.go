@@ -17,9 +17,10 @@ import (
 // internal accounting against its definition.
 
 // checkTrackerEquivalence recomputes every incremental aggregate from
-// scratch and compares. Callers settle activity deadlines first (any
-// reader path does) so the counted flags are evaluated at read time,
-// exactly like the predicate-per-flow rescan.
+// scratch and compares, and re-derives the FlowID↔slot bijection of
+// the flat store from a naive shadow map. Callers settle activity
+// deadlines first (any reader path does) so the counted flags are
+// evaluated at read time, exactly like the predicate-per-flow rescan.
 func checkTrackerEquivalence(t *testing.T, tr *tracker, now sim.Time) {
 	t.Helper()
 	tr.advanceActivity(now)
@@ -30,10 +31,39 @@ func checkTrackerEquivalence(t *testing.T, tr *tracker, now sim.Time) {
 	poolCur := map[packet.PoolID]int{}
 	poolRefs := map[packet.PoolID]int{}
 
-	for id, f := range tr.flows {
-		if f.id != id {
-			t.Fatalf("flow record %d filed under key %d", f.id, id)
+	// The shadow map is the specification of the open-addressed index:
+	// walking the record array must yield each live flow exactly once,
+	// filed in the store's index under its own id at its own slot.
+	shadow := map[packet.FlowID]int32{}
+	for i := range tr.store.recs {
+		f := &tr.store.recs[i]
+		if !f.inUse {
+			continue
 		}
+		if f.slot != int32(i) {
+			t.Fatalf("flow %d in slot %d records slot %d", f.id, i, f.slot)
+		}
+		if prev, dup := shadow[f.id]; dup {
+			t.Fatalf("flow %d live in slots %d and %d", f.id, prev, i)
+		}
+		shadow[f.id] = int32(i)
+	}
+	if tr.store.len() != len(shadow) {
+		t.Fatalf("store says %d live flows, record walk found %d", tr.store.len(), len(shadow))
+	}
+	for id, slot := range shadow {
+		got, ok := tr.store.idx.get(int32(id))
+		if !ok || got != slot {
+			t.Fatalf("index maps flow %d to (%d,%v), records say slot %d", id, got, ok, slot)
+		}
+	}
+
+	for i := range tr.store.recs {
+		f := &tr.store.recs[i]
+		if !f.inUse {
+			continue
+		}
+		id := f.id
 		census[f.state]++
 		want := tr.wantCounted(f, now)
 		if f.counted != want {
@@ -80,19 +110,48 @@ func checkTrackerEquivalence(t *testing.T, tr *tracker, now sim.Time) {
 	if activePools != tr.activePoolsN {
 		t.Fatalf("activePools mismatch: naive %d, incremental %d", activePools, tr.activePoolsN)
 	}
-	if len(tr.pools) != len(poolRefs) {
-		t.Fatalf("pool table has %d entries, flows reference %d pools", len(tr.pools), len(poolRefs))
+	livePools := 0
+	for i := range tr.pools.recs {
+		if tr.pools.recs[i].inUse {
+			livePools++
+		}
+	}
+	if livePools != len(poolRefs) {
+		t.Fatalf("pool table has %d entries, flows reference %d pools", livePools, len(poolRefs))
+	}
+	if tr.pools.idx.n != livePools {
+		t.Fatalf("pool index files %d pools, record walk found %d", tr.pools.idx.n, livePools)
 	}
 	for pool, refs := range poolRefs {
-		e := tr.pools[pool]
+		e := tr.pools.lookup(pool)
 		if e == nil {
 			t.Fatalf("pool %d referenced by %d flows but has no entry", pool, refs)
 		}
-		if e.refs != refs {
+		if int(e.refs) != refs {
 			t.Fatalf("pool %d refs=%d, flows say %d", pool, e.refs, refs)
 		}
-		if e.cur != poolCur[pool] {
+		if int(e.cur) != poolCur[pool] {
 			t.Fatalf("pool %d cur=%d, naive count %d", pool, e.cur, poolCur[pool])
+		}
+	}
+	// Every live flow's poolSlot must resolve to its own pool's entry.
+	for i := range tr.store.recs {
+		f := &tr.store.recs[i]
+		if !f.inUse {
+			continue
+		}
+		if f.pool == packet.PoolNone {
+			if f.poolSlot != idxEmpty {
+				t.Fatalf("pool-less flow %d holds poolSlot %d", f.id, f.poolSlot)
+			}
+			continue
+		}
+		if f.poolSlot == idxEmpty {
+			t.Fatalf("pooled flow %d has no poolSlot", f.id)
+		}
+		if e := &tr.pools.recs[f.poolSlot]; !e.inUse || e.key != f.pool {
+			t.Fatalf("flow %d poolSlot %d resolves to pool %d (inUse=%v), want %d",
+				f.id, f.poolSlot, e.key, e.inUse, f.pool)
 		}
 	}
 }
@@ -172,7 +231,7 @@ func TestIncrementalEquivalenceSeeded(t *testing.T) {
 				if now%(250*sim.Millisecond) == 0 {
 					checkTrackerEquivalence(t, q.tracker, eng.Now())
 				}
-				if len(q.tracker.free) > 0 {
+				if len(q.tracker.store.free) > 0 {
 					evicted = true
 				}
 			}

@@ -4,17 +4,21 @@ import (
 	"taq/internal/sim"
 )
 
-// deadlineEntry is one lazily-deleted heap entry: the flow f had
-// deadline dl when the entry was pushed, and gen was the flow record's
+// deadlineEntry is one lazily-deleted heap entry: the flow in slot had
+// deadline dl when the entry was pushed, and gen was the record's
 // generation at that moment. Entries are never removed in place — a
-// flow whose deadline moves later, or that is evicted (its record
-// recycled through the free list with a bumped generation), simply
-// leaves a stale entry behind. Poppers validate gen and re-derive the
-// live deadline, so a stale entry costs one pop and nothing else.
+// flow whose deadline moves later, or that is evicted (its slot
+// recycled through the store's free list with a bumped generation),
+// simply leaves a stale entry behind. Poppers resolve the slot back to
+// a record, validate gen, and re-derive the live deadline, so a stale
+// entry costs one pop and nothing else. Storing the 4-byte slot id
+// instead of a *flowInfo keeps the entry at 16 bytes and pointer-free:
+// the heap never extends a record's lifetime and is safe across
+// record-array growth.
 type deadlineEntry struct {
-	dl  sim.Time
-	f   *flowInfo
-	gen uint32
+	dl   sim.Time
+	slot int32
+	gen  uint32
 }
 
 // deadlineHeap is a 4-ary min-heap of deadlineEntry ordered by dl.
@@ -29,7 +33,7 @@ type deadlineHeap struct {
 func (h *deadlineHeap) len() int { return len(h.a) }
 
 func (h *deadlineHeap) push(dl sim.Time, f *flowInfo) {
-	h.a = append(h.a, deadlineEntry{dl: dl, f: f, gen: f.gen}) //taq:allow noalloc amortized heap growth; capacity is retained across scans
+	h.a = append(h.a, deadlineEntry{dl: dl, slot: f.slot, gen: f.gen}) //taq:allow noalloc amortized heap growth; capacity is retained across scans
 	i := len(h.a) - 1
 	for i > 0 {
 		parent := (i - 1) / 4

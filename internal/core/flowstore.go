@@ -1,0 +1,125 @@
+package core
+
+import "taq/internal/packet"
+
+// flowStore owns every flowInfo record in one dense slice, indexed by
+// slot id. Records are recycled through a free list rather than freed,
+// and each record carries a generation that release bumps, so a slot
+// handle (slot, gen) taken earlier — a deadline-heap entry — is
+// detectably stale after the slot is recycled for another flow. The
+// oaIndex maps FlowID → slot so the per-packet lookup is two array
+// probes instead of a Go map access and a pointer chase to a separately
+// heap-allocated record.
+//
+// Pointer discipline: &recs[slot] is stable for the lifetime of one
+// tracker operation — only alloc can grow recs, and no caller holds a
+// record pointer across a flow creation. Anything held longer (heap
+// entries) stores the slot id and re-derives the pointer.
+type flowStore struct {
+	recs []flowInfo
+	free []int32 // recycled slots, LIFO
+	idx  oaIndex // FlowID → slot
+}
+
+// lookup returns the record tracking id, or nil.
+func (s *flowStore) lookup(id packet.FlowID) *flowInfo {
+	slot, ok := s.idx.get(int32(id))
+	if !ok {
+		return nil
+	}
+	return &s.recs[slot]
+}
+
+// alloc files a zeroed record for id (which must not be tracked) and
+// returns it. Recycled records keep their bumped generation so stale
+// heap entries pointing at the old occupant stay invalid.
+func (s *flowStore) alloc(id packet.FlowID) *flowInfo {
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+		f := &s.recs[slot]
+		gen := f.gen // survives recycling; bumped at release
+		*f = flowInfo{}
+		f.gen = gen
+	} else {
+		slot = int32(len(s.recs))
+		s.recs = append(s.recs, flowInfo{}) //taq:allow noalloc amortized record-array growth; evicted slots are free-list recycled
+	}
+	f := &s.recs[slot]
+	f.id, f.slot, f.inUse = id, slot, true
+	s.idx.put(int32(id), slot)
+	return f
+}
+
+// release unfiles f: the FlowID mapping is deleted, the generation is
+// bumped (invalidating any outstanding slot handles), and the slot goes
+// on the free list for reuse.
+func (s *flowStore) release(f *flowInfo) {
+	s.idx.del(int32(f.id))
+	f.gen++
+	f.inUse = false
+	s.free = append(s.free, f.slot)
+}
+
+// at returns the record in slot, live or not — callers holding a
+// (slot, gen) handle check gen themselves.
+func (s *flowStore) at(slot int32) *flowInfo { return &s.recs[slot] }
+
+// len returns the number of live (tracked) records.
+func (s *flowStore) len() int { return s.idx.n }
+
+// poolTable is the same flat shape for the tracker's per-pool active
+// counts: poolEntry records in a slice, a free list, and an oaIndex
+// from PoolID → slot. Entries are refcounted by the flows keyed to the
+// pool, so a flow's poolSlot stays valid for exactly as long as the
+// flow itself is tracked; no generation check is needed.
+type poolTable struct {
+	recs []poolEntry
+	free []int32
+	idx  oaIndex // PoolID → slot
+}
+
+// lookup returns pool's entry, or nil.
+func (pt *poolTable) lookup(pool packet.PoolID) *poolEntry {
+	slot, ok := pt.idx.get(int32(pool))
+	if !ok {
+		return nil
+	}
+	return &pt.recs[slot]
+}
+
+// ref takes one reference on pool's entry, creating it if absent, and
+// returns the entry's slot for storing in the flow record.
+func (pt *poolTable) ref(pool packet.PoolID) int32 {
+	if slot, ok := pt.idx.get(int32(pool)); ok {
+		pt.recs[slot].refs++
+		return slot
+	}
+	var slot int32
+	if n := len(pt.free); n > 0 {
+		slot = pt.free[n-1]
+		pt.free = pt.free[:n-1]
+		pt.recs[slot] = poolEntry{}
+	} else {
+		slot = int32(len(pt.recs))
+		pt.recs = append(pt.recs, poolEntry{}) //taq:allow noalloc amortized pool-array growth; slots are free-list recycled
+	}
+	e := &pt.recs[slot]
+	e.key, e.refs, e.inUse = pool, 1, true
+	pt.idx.put(int32(pool), slot)
+	return slot
+}
+
+// unref drops one reference on the entry in slot; at zero the entry is
+// unfiled and the slot recycled.
+func (pt *poolTable) unref(slot int32) {
+	e := &pt.recs[slot]
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	pt.idx.del(int32(e.key))
+	e.inUse = false
+	pt.free = append(pt.free, slot)
+}

@@ -59,18 +59,22 @@ func FuzzTrackerTransitions(f *testing.F) {
 				tr.scan()
 			}
 
-			for id, fl := range tr.flows {
-				if int(fl.state) >= numFlowStates {
-					t.Fatalf("flow %d in undeclared state %d", id, fl.state)
+			for i := range tr.store.recs {
+				fl := &tr.store.recs[i]
+				if !fl.inUse {
+					continue
 				}
-				if fl.id != id {
-					t.Fatalf("flow record %d filed under key %d", fl.id, id)
+				if int(fl.state) >= numFlowStates {
+					t.Fatalf("flow %d in undeclared state %d", fl.id, fl.state)
+				}
+				if slot, ok := tr.store.idx.get(int32(fl.id)); !ok || slot != int32(i) {
+					t.Fatalf("flow %d in slot %d indexed as (%d,%v)", fl.id, i, slot, ok)
 				}
 				if fl.epoch <= 0 {
-					t.Fatalf("flow %d epoch %v not positive", id, fl.epoch)
+					t.Fatalf("flow %d epoch %v not positive", fl.id, fl.epoch)
 				}
 				if fl.outstandingDrops < 0 {
-					t.Fatalf("flow %d outstandingDrops %d negative", id, fl.outstandingDrops)
+					t.Fatalf("flow %d outstandingDrops %d negative", fl.id, fl.outstandingDrops)
 				}
 			}
 			// The census partitions the flow table: every flow is in
@@ -82,8 +86,8 @@ func FuzzTrackerTransitions(f *testing.F) {
 				}
 				total += n
 			}
-			if total != len(tr.flows) {
-				t.Fatalf("census counts %d flows, table has %d", total, len(tr.flows))
+			if total != tr.store.len() {
+				t.Fatalf("census counts %d flows, table has %d", total, tr.store.len())
 			}
 			// Every incremental aggregate must match a from-scratch walk
 			// of the flow table, no matter the observation order.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"taq/internal/link"
@@ -9,18 +10,12 @@ import (
 	"taq/internal/sim"
 )
 
-// buildLoadedTAQ creates a TAQ middlebox tracking n flows, with each
-// flow having seen a SYN and two data segments. Flows are spread across
-// pools of 32 so the pool-fairness accounting is exercised too. The
-// queue is drained after every batch so buffer evictions don't distort
-// the tracker population.
-func buildLoadedTAQ(tb testing.TB, n int) (*sim.Engine, *TAQ, []*packet.Packet) {
-	tb.Helper()
-	eng := sim.NewEngine(1)
-	cfg := DefaultConfig(link.Bps(1_000_000_000), 256)
-	cfg.PoolFairShare = true
-	q := New(eng, cfg)
-
+// loadFlows drives n flows into q, with each flow having seen a SYN
+// and two data segments. Flows are spread across pools of 32 so the
+// pool-fairness accounting is exercised too. The queue is drained
+// after every batch so buffer evictions don't distort the tracker
+// population.
+func loadFlows(eng *sim.Engine, q *TAQ, n int) {
 	for i := 0; i < n; i++ {
 		fl := packet.FlowID(i + 1)
 		pool := packet.PoolID(i / 32)
@@ -33,8 +28,18 @@ func buildLoadedTAQ(tb testing.TB, n int) (*sim.Engine, *TAQ, []*packet.Packet) 
 			eng.RunUntil(eng.Now() + sim.Millisecond)
 		}
 	}
+}
 
-	// Reusable data packets for the churn portion of the scan benchmark.
+// buildLoadedTAQ creates a TAQ middlebox tracking n flows (see
+// loadFlows) plus reusable data packets for churn benchmarks.
+func buildLoadedTAQ(tb testing.TB, n int) (*sim.Engine, *TAQ, []*packet.Packet) {
+	tb.Helper()
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig(link.Bps(1_000_000_000), 256)
+	cfg.PoolFairShare = true
+	q := New(eng, cfg)
+	loadFlows(eng, q, n)
+
 	touch := make([]*packet.Packet, n)
 	for i := range touch {
 		touch[i] = &packet.Packet{
@@ -51,7 +56,7 @@ func buildLoadedTAQ(tb testing.TB, n int) (*sim.Engine, *TAQ, []*packet.Packet) 
 // (silence detection, fair-share refresh, pool accounting, loss
 // window). The flow table stays at n tracked flows throughout.
 func BenchmarkTrackerScan(b *testing.B) {
-	for _, n := range []int{1_000, 10_000, 100_000} {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
 		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
 			eng, q, touch := buildLoadedTAQ(b, n)
 			step := n / 100
@@ -71,6 +76,78 @@ func BenchmarkTrackerScan(b *testing.B) {
 				}
 				eng.RunUntil(eng.Now() + q.cfg.ScanInterval)
 				q.scan()
+			}
+		})
+	}
+}
+
+// BenchmarkFlowLookup measures the packet-path flow lookup against a
+// loaded table: a hit (tracked flow), a miss (unknown flow), and
+// create (getOrCreate of a fresh flow, immediately evicted so the
+// table size holds and the free list stays hot — the steady-state
+// shape of flow churn).
+func BenchmarkFlowLookup(b *testing.B) {
+	for _, n := range []int{1_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			_, q, _ := buildLoadedTAQ(b, n)
+			tr := q.tracker
+			b.Run("hit", func(b *testing.B) {
+				var sink sim.Time
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sink += tr.get(packet.FlowID(i%n+1)).epoch
+				}
+				_ = sink
+			})
+			b.Run("miss", func(b *testing.B) {
+				miss := 0
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if tr.get(packet.FlowID(n+2+i%n)) == nil {
+						miss++
+					}
+				}
+				if miss != b.N {
+					b.Fatalf("%d misses, want %d", miss, b.N)
+				}
+			})
+			b.Run("create", func(b *testing.B) {
+				p := &packet.Packet{Kind: packet.Syn, Size: 40, Pool: packet.PoolNone}
+				id := packet.FlowID(10_000_000)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p.Flow = id
+					f := tr.getOrCreate(p)
+					tr.evictFlow(f)
+					id++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFlowMemory reports the tracker's measured memory footprint
+// per tracked flow: heap growth across middlebox construction plus
+// loadFlows (records, index, heaps, pool tables — no benchmark
+// scaffolding), divided by the flow count. KeepAlive pins the
+// middlebox so the post-load GC cannot collect what we just measured.
+func BenchmarkFlowMemory(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(1)
+				cfg := DefaultConfig(link.Bps(1_000_000_000), 256)
+				cfg.PoolFairShare = true
+				var m0, m1 runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&m0)
+				q := New(eng, cfg)
+				loadFlows(eng, q, n)
+				runtime.GC()
+				runtime.ReadMemStats(&m1)
+				perFlow := float64(int64(m1.HeapAlloc)-int64(m0.HeapAlloc)) / float64(n)
+				b.ReportMetric(perFlow, "B/flow")
+				runtime.KeepAlive(q)
 			}
 		})
 	}

@@ -200,6 +200,11 @@ func (t *TAQ) WaitingPools() int { return t.adm.waitingPools() }
 func (t *TAQ) ExpectedWait(pool packet.PoolID) sim.Time { return t.adm.expectedWait(pool) }
 
 // FlowStateOf exposes the tracked state of a flow (testing/metrics).
+// It is exactly one probe of the open-addressed flow index plus a
+// record read, and doubles as the exported surface the allocation
+// harness uses to pin the lookup path.
+//
+//taq:hotpath per-flow state probe over the open-addressed index
 func (t *TAQ) FlowStateOf(id packet.FlowID) (FlowState, bool) {
 	f := t.tracker.get(id)
 	if f == nil {
@@ -249,10 +254,10 @@ func (t *TAQ) classify(p *packet.Packet, f *flowInfo, rtx bool) Class {
 		return ClassRecovery
 	case p.Kind == packet.Syn:
 		return ClassNewFlow
-	case (f.epochs < t.cfg.NewFlowEpochs || f.highSeq < t.cfg.NewFlowSegs) &&
+	case (int(f.epochs) < t.cfg.NewFlowEpochs || int(f.highSeq) < t.cfg.NewFlowSegs) &&
 		(f.state == StateNew || f.state == StateSlowStart):
 		return ClassNewFlow
-	case f.drops+f.prevDrops >= t.cfg.OverPenaltyDrops:
+	case int(f.drops)+int(f.prevDrops) >= t.cfg.OverPenaltyDrops:
 		return ClassOverPenalized
 	case !t.cfg.NoRecoveryProtection &&
 		(f.state == StateLossRecovery || f.state == StateTimeoutRecovery ||

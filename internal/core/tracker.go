@@ -67,93 +67,104 @@ func (s FlowState) String() string {
 // flowInfo is the per-flow record the middlebox maintains (§3.3: new
 // packets per epoch, highest sequence number, retransmitted packets,
 // losses in the previous epoch — plus the state-machine bookkeeping).
+//
+// Records live in the flowStore's flat slice, not behind individual
+// heap pointers, so the layout is packed for that shape: a 32-byte
+// identity/flag header, then the per-packet hot core (epoch clocks,
+// epoch counters, deadlines), then the warm silence/recovery fields,
+// then the cold two-way RTT sampler. Counters are int32 — packet and
+// epoch counts per flow never approach 2^31 (epochs at the 200 ms
+// default would take 13 years) — and sequence numbers mirror
+// packet.Packet's int Seq but saturate far below 2^31 in every
+// workload the simulator can express. sim.Time fields stay int64:
+// narrowing timestamps would change behavior.
 type flowInfo struct {
+	// Identity and slot plumbing (read on every lookup).
 	id   packet.FlowID
 	pool packet.PoolID
-
+	// slot is this record's index in the flowStore; poolSlot is the
+	// pool's entry in the tracker's poolTable (idxEmpty for pool-less
+	// flows). Both are stable for the record's tracked lifetime.
+	slot     int32
+	poolSlot int32
+	// gen is bumped every time this record is evicted, invalidating
+	// any heap entries that still reference the slot (slots are
+	// recycled through the store's free list).
+	gen   uint32
 	state FlowState
-
-	created sim.Time
-	synAt   sim.Time
-	gotData bool
-
-	// Epoch (middlebox-perceived RTT) estimation.
-	epoch      sim.Time
-	epochStart sim.Time
-	epochs     int // epochs observed since creation
-	// rolledTo is the time through which the flow's epoch counters
-	// have been rolled (see catchUp).
-	rolledTo   sim.Time
-	burstStart sim.Time // start of the current packet burst
-
-	// Current- and previous-epoch counters.
-	newPkts, prevNewPkts int
-	rtxPkts              int
-	drops, prevDrops     int
-	bytes                float64 // bytes forwarded-or-queued this epoch
-
-	highSeq int // highest data sequence observed
-
-	lastPkt      sim.Time // last packet observed (any kind)
-	silenceStart sim.Time // when the current presumed-RTO silence began
-
-	// outstandingDrops counts packets TAQ dropped that have not yet
-	// been seen retransmitted.
-	outstandingDrops int
-
-	// lastSilence remembers the length of the flow's most recent
-	// silence episode; it keys the Recovery queue priority for the
-	// whole retransmission burst that follows the silence.
-	lastSilence sim.Time
-
-	// Two-way RTT sampling (§3.3 "conventional mode": TAQ observes
-	// two-way traffic, making it relatively easy to estimate RTT).
-	// The downstream half is the gap from forwarding a data segment
-	// to seeing its ack return; the upstream half is the gap from
-	// that ack to the new data it releases from the sender.
-	sampleSeq    int // data segment awaiting its ack; -1 when idle
-	sampleAt     sim.Time
-	downRTT      sim.Time // EWMA of the downstream half
-	lastAckAt    sim.Time // when the last returning ack was observed
-	awaitingData bool     // upstream half armed
-	upRTT        sim.Time // EWMA of the upstream half
-	twoWay       bool     // two-way samples are feeding the epoch
-
-	// protectEpochs counts down epochs during which a flow that just
-	// recovered keeps elevated (OverPenalized-queue) protection: the
-	// loss of the first new packets after a timeout escalates the
-	// remembered backoff (§4.1), so they must not be the next victims.
-	protectEpochs int
-
-	// rateEWMA estimates the flow's throughput in bits/second.
-	rateEWMA float64
-
 	// lastClass is the TAQ class the flow's previous packet was
 	// assigned (-1 before the first classification), so class-change
 	// trace events fire only on actual changes.
 	lastClass int8
-
-	// Incremental-accounting bookkeeping. The tracker maintains the
-	// aggregate control inputs (active count, census, per-pool counts,
-	// inverse-epoch sum) as running counters instead of rescanning the
-	// flow table, so these fields tie each record to those counters
-	// and to the two deadline heaps.
-
-	// gen is bumped every time this record is evicted, invalidating
-	// any heap entries that still point at it (records are recycled
-	// through the tracker's free list).
-	gen uint32
+	gotData   bool
 	// counted reports whether this flow is currently included in the
 	// tracker's active-flow aggregates.
 	counted bool
-	// invTerm is the fixed-point inverse-epoch term this flow
-	// contributes to invSumFx while counted.
-	invTerm int64
+	// inUse distinguishes live records from free-listed ones when the
+	// store's record array is walked directly (tests, debug).
+	inUse        bool
+	awaitingData bool // upstream RTT half armed
+	twoWay       bool // two-way samples are feeding the epoch
+
+	// Per-packet hot core: epoch (middlebox-perceived RTT) estimation
+	// and the current-/previous-epoch counters.
+	epoch      sim.Time
+	epochStart sim.Time
+	// rolledTo is the time through which the flow's epoch counters
+	// have been rolled (see catchUp).
+	rolledTo sim.Time
+	lastPkt  sim.Time // last packet observed (any kind)
+
+	newPkts, prevNewPkts int32
+	rtxPkts              int32
+	drops, prevDrops     int32
+	epochs               int32 // epochs observed since creation
+	highSeq              int32 // highest data sequence observed
+	// outstandingDrops counts packets TAQ dropped that have not yet
+	// been seen retransmitted.
+	outstandingDrops int32
+
+	bytes float64 // bytes forwarded-or-queued this epoch
+	// rateEWMA estimates the flow's throughput in bits/second.
+	rateEWMA float64
 	// actDl and scanDl mirror the earliest live heap entry for this
 	// flow on the activity and scan heaps (0 = none); pushes are
 	// elided unless they move the earliest deadline, bounding stale
 	// entries.
 	actDl, scanDl sim.Time
+	// invTerm is the fixed-point inverse-epoch term this flow
+	// contributes to invSumFx while counted.
+	invTerm int64
+
+	// Warm: silence and recovery bookkeeping.
+
+	// synBurst is a union: until the first data packet it holds the
+	// SYN time (seeding the epoch estimate from the SYN→data gap);
+	// once gotData is set it holds the start of the current packet
+	// burst. The two uses never overlap — the SYN time is read only
+	// in the first-data branch, and burst tracking starts there.
+	synBurst     sim.Time
+	silenceStart sim.Time // when the current presumed-RTO silence began
+	// lastSilence remembers the length of the flow's most recent
+	// silence episode; it keys the Recovery queue priority for the
+	// whole retransmission burst that follows the silence.
+	lastSilence sim.Time
+	// protectEpochs counts down epochs during which a flow that just
+	// recovered keeps elevated (OverPenalized-queue) protection: the
+	// loss of the first new packets after a timeout escalates the
+	// remembered backoff (§4.1), so they must not be the next victims.
+	protectEpochs int32
+	sampleSeq     int32 // data segment awaiting its ack; -1 when idle
+
+	// Cold: two-way RTT sampling (§3.3 "conventional mode": TAQ
+	// observes two-way traffic, making it relatively easy to estimate
+	// RTT). The downstream half is the gap from forwarding a data
+	// segment to seeing its ack return; the upstream half is the gap
+	// from that ack to the new data it releases from the sender.
+	sampleAt  sim.Time
+	downRTT   sim.Time // EWMA of the downstream half
+	upRTT     sim.Time // EWMA of the upstream half
+	lastAckAt sim.Time // when the last returning ack was observed
 }
 
 // roll advances the flow's epoch counters to cover time now, possibly
@@ -212,10 +223,13 @@ type Census [numFlowStates]int
 // the entry, so mid-window reads keep seeing the scan-time value —
 // the same snapshot semantics the rescanning implementation got by
 // materializing a map each scan. refs counts tracked flows (active or
-// not) keyed to the pool; the entry is dropped when it hits zero.
+// not) keyed to the pool; the entry is unfiled when it hits zero.
+// Entries live in the tracker's poolTable (flowstore.go).
 type poolEntry struct {
-	cur, snap, refs int
 	stamp           uint64
+	key             packet.PoolID
+	cur, snap, refs int32
+	inUse           bool
 }
 
 // tracker owns all per-flow records and applies the approximate state
@@ -225,9 +239,12 @@ type poolEntry struct {
 // whose deadlines have passed (tracked by two lazy-deletion heaps)
 // instead of rescanning the whole table.
 type tracker struct {
-	cfg   Config
-	run   sim.Runner
-	flows map[packet.FlowID]*flowInfo
+	cfg Config
+	run sim.Runner
+	// store owns every flow record: a flat slot-indexed array with a
+	// free list plus the FlowID→slot open-addressed index, so the
+	// per-packet lookup does no Go map access (see flowstore.go).
+	store flowStore
 	// rec, when non-nil, receives TrackerTransition/TimeoutDetected
 	// events from setState (installed via TAQ.SetRecorder).
 	rec *obs.Recorder
@@ -246,9 +263,10 @@ type tracker struct {
 	// replaces was only deterministic because every pass ran in
 	// sorted order.
 	invSumFx int64
-	// pools holds per-pool active counts (point lookups only — never
-	// iterated, so map order cannot leak into behavior).
-	pools map[packet.PoolID]*poolEntry
+	// pools holds per-pool active counts in the same flat shape as
+	// the flow store (point lookups only — never iterated). Flow
+	// records pin their pool's entry through poolSlot references.
+	pools poolTable
 	// stamp is the snapshot barrier counter for poolEntry (bumped by
 	// snapshotPools).
 	stamp uint64
@@ -257,9 +275,8 @@ type tracker struct {
 	// (4 epochs of silence) runs out; scanHeap orders them by the
 	// earliest time a scan transition or expiry eviction could apply.
 	actHeap, scanHeap deadlineHeap
-	// free recycles evicted records; due is the scan's scratch list.
-	free []*flowInfo
-	due  []*flowInfo
+	// due is the scan's scratch list.
+	due []*flowInfo
 	// lastScan is when the periodic scan last ran. The rescanning
 	// implementation rolled every flow's epoch counters each scan;
 	// the incremental one rolls lazily, and readers that need
@@ -270,68 +287,42 @@ type tracker struct {
 }
 
 func newTracker(run sim.Runner, cfg Config) *tracker {
-	return &tracker{
-		cfg: cfg, run: run,
-		flows: make(map[packet.FlowID]*flowInfo),
-		pools: make(map[packet.PoolID]*poolEntry),
-		stamp: 1,
-	}
+	return &tracker{cfg: cfg, run: run, stamp: 1}
 }
 
-func (t *tracker) get(id packet.FlowID) *flowInfo { return t.flows[id] } //taq:allow noalloc per-packet flow lookup; ROADMAP item 2 replaces the map
+func (t *tracker) get(id packet.FlowID) *flowInfo { return t.store.lookup(id) }
 
 func (t *tracker) getOrCreate(p *packet.Packet) *flowInfo {
-	f, ok := t.flows[p.Flow] //taq:allow noalloc per-packet flow lookup; ROADMAP item 2 replaces the map
-	if !ok {
+	f := t.store.lookup(p.Flow)
+	if f == nil {
 		now := t.run.Now()
-		if n := len(t.free); n > 0 {
-			f = t.free[n-1]
-			t.free[n-1] = nil
-			t.free = t.free[:n-1]
-			gen := f.gen // survives recycling; bumped at eviction
-			*f = flowInfo{}
-			f.gen = gen
-		} else {
-			f = &flowInfo{} //taq:allow noalloc free-list refill; evictFlow recycles records
-		}
-		f.id, f.pool, f.state = p.Flow, p.Pool, StateNew
-		f.created, f.synAt = now, now
+		f = t.store.alloc(p.Flow)
+		f.pool, f.state = p.Pool, StateNew
+		f.synBurst = now // SYN time until the first data packet lands
 		f.epoch, f.epochStart, f.lastPkt = t.cfg.DefaultEpoch, now, now
 		f.highSeq, f.sampleSeq, f.lastClass = -1, -1, -1
-		t.flows[p.Flow] = f //taq:allow noalloc once per tracked flow; ROADMAP item 2 replaces the map
+		f.poolSlot = idxEmpty
 		t.census[StateNew]++
 		if p.Pool != packet.PoolNone {
-			e := t.pools[p.Pool] //taq:allow noalloc once per tracked flow; ROADMAP item 2 replaces the map
-			if e == nil {
-				e = &poolEntry{} //taq:allow noalloc once per pool lifetime (store on the next line rides the same allow)
-				t.pools[p.Pool] = e
-			}
-			e.refs++
+			f.poolSlot = t.pools.ref(p.Pool)
 		}
 	}
 	return f
 }
 
 // evictFlow removes a long-dead flow: it is withdrawn from every
-// aggregate, its heap entries are invalidated by bumping gen, and the
-// record goes to the free list for reuse.
+// aggregate, its heap entries are invalidated by the generation bump in
+// release, and the slot goes back to the store's free list for reuse.
 func (t *tracker) evictFlow(f *flowInfo) {
 	if f.counted {
 		t.applyCount(f, false)
 	}
 	t.census[f.state]--
-	if f.pool != packet.PoolNone {
-		if e := t.pools[f.pool]; e != nil {
-			e.refs--
-			if e.refs <= 0 {
-				delete(t.pools, f.pool)
-			}
-		}
+	if f.poolSlot != idxEmpty {
+		t.pools.unref(f.poolSlot)
 	}
-	delete(t.flows, f.id)
-	f.gen++
 	f.actDl, f.scanDl = 0, 0
-	t.free = append(t.free, f)
+	t.store.release(f)
 }
 
 // setState moves f to state s, emitting the tracker trace events. A
@@ -369,36 +360,41 @@ func (t *tracker) observe(p *packet.Packet) (f *flowInfo, rtx bool) {
 
 	switch p.Kind {
 	case packet.Syn:
-		f.synAt = now
+		if !f.gotData {
+			// synBurst still means "SYN time" before the first data
+			// packet; once data state exists the burst meaning owns
+			// the field and the SYN time is never read again.
+			f.synBurst = now
+		}
 		if f.state != StateNew && f.gotData {
 			// SYN retry of a flow we have data state for: ignore.
 			break
 		}
 		t.setState(f, StateNew)
 	case packet.Data:
-		rtx = f.gotData && p.Seq <= f.highSeq
+		rtx = f.gotData && p.Seq <= int(f.highSeq)
 		if !f.gotData {
 			// First data packet: seed the epoch estimate from the
 			// SYN→data gap (§3.3's one-way estimation approach).
 			f.gotData = true
-			if d := now - f.synAt; d > 10*sim.Millisecond && d < 2*t.cfg.DefaultEpoch*10 {
+			if d := now - f.synBurst; d > 10*sim.Millisecond && d < 2*t.cfg.DefaultEpoch*10 {
 				f.epoch = d
 			}
 			f.epochStart = now
-			f.burstStart = now
+			f.synBurst = now // burst-start meaning from here on
 		} else if silence > f.epoch/2 && !f.twoWay &&
 			(f.state == StateNormal || f.state == StateSlowStart) {
 			// Burst start after a gap: TCP sends a window per RTT, so
 			// the burst-to-burst interval tracks the epoch. Refine
 			// with a weighted moving average (§3.3).
-			interval := now - f.burstStart
+			interval := now - f.synBurst
 			if interval > f.epoch/2 && interval < 4*f.epoch {
 				f.epoch = (7*f.epoch + interval) / 8
 			}
-			f.burstStart = now
+			f.synBurst = now
 		}
-		if p.Seq > f.highSeq {
-			f.highSeq = p.Seq
+		if p.Seq > int(f.highSeq) {
+			f.highSeq = int32(p.Seq)
 		}
 		if rtx {
 			f.rtxPkts++
@@ -483,7 +479,7 @@ func (t *tracker) observeForwarded(p *packet.Packet) {
 		f.awaitingData = false
 	}
 	if f.sampleSeq < 0 {
-		f.sampleSeq = p.Seq
+		f.sampleSeq = int32(p.Seq)
 		f.sampleAt = now
 	}
 }
@@ -502,7 +498,7 @@ func (t *tracker) observeReverse(p *packet.Packet) {
 	// used the pre-ack estimate; rolling lazily with the new epoch
 	// would land the boundaries elsewhere.
 	f.catchUp(t.lastScan)
-	if f.sampleSeq >= 0 && p.CumAck > f.sampleSeq {
+	if f.sampleSeq >= 0 && p.CumAck > int(f.sampleSeq) {
 		if down := now - f.sampleAt; down > 0 {
 			f.downRTT = ewmaTime(f.downRTT, down)
 		}
@@ -614,7 +610,9 @@ func (t *tracker) applyCount(f *flowInfo, on bool) {
 		}
 		return
 	}
-	e := t.pools[f.pool] //taq:allow noalloc lookup of an entry that exists while refs > 0; ROADMAP item 2 replaces the map
+	// poolSlot is pinned (refs > 0) for as long as the flow is
+	// tracked, so this is a direct array access with no probe.
+	e := &t.pools.recs[f.poolSlot]
 	if e.stamp != t.stamp {
 		e.snap = e.cur
 		e.stamp = t.stamp
@@ -706,7 +704,7 @@ func (t *tracker) advanceActivity(now sim.Time) {
 			return
 		}
 		t.actHeap.pop()
-		f := e.f
+		f := t.store.at(e.slot)
 		if f.gen != e.gen {
 			continue // evicted (and possibly recycled) since the push
 		}
@@ -738,6 +736,10 @@ func (t *tracker) advanceActivity(now sim.Time) {
 // within a scan are emitted identically.
 func (t *tracker) scan() {
 	now := t.run.Now()
+	// Index doubling is hoisted to scan cadence so the rehash never
+	// runs under a packet (put keeps only an emergency threshold).
+	t.store.idx.maybeGrow()
+	t.pools.idx.maybeGrow()
 	t.advanceActivity(now)
 	t.due = t.due[:0]
 	for {
@@ -746,7 +748,7 @@ func (t *tracker) scan() {
 			break
 		}
 		t.scanHeap.pop()
-		f := e.f
+		f := t.store.at(e.slot)
 		if f.gen != e.gen {
 			continue
 		}
@@ -842,14 +844,14 @@ func (t *tracker) snapshotPools() (pools int) {
 // poolCount returns pool's active flow count as of the last
 // snapshotPools barrier (0 for unknown or inactive pools).
 func (t *tracker) poolCount(pool packet.PoolID) int {
-	e := t.pools[pool] //taq:allow noalloc per-SYN pool lookup; ROADMAP item 2 replaces the map
+	e := t.pools.lookup(pool)
 	if e == nil {
 		return 0
 	}
 	if e.stamp == t.stamp {
-		return e.snap
+		return int(e.snap)
 	}
-	return e.cur
+	return int(e.cur)
 }
 
 // stateCensus returns the number of tracked flows in each state — a
