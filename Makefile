@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHSCALE ?= 0.05
 
-.PHONY: build vet taqvet taqvet-sarif taqvet-roots test race fuzz bench check
+.PHONY: build vet taqvet taqvet-sarif taqvet-roots taqvet-annotations test race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,15 @@ taqvet-sarif:
 # that silently loses its annotation fails the build.
 taqvet-roots:
 	$(GO) run ./cmd/taqvet -roots ./... > docs/hotpath-closure.txt
+
+# taqvet-annotations regenerates the committed contract-annotation
+# inventory (//taq:shardowned, //taq:crossshard, //taq:atomic,
+# //taq:layout). Run it after annotating (or un-annotating) a type,
+# field, or function and commit the result; CI diffs the live
+# inventory against this file, so a contract silently added or dropped
+# fails the build.
+taqvet-annotations:
+	$(GO) run ./cmd/taqvet -annotations ./... > docs/taq-annotations.txt
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,92 @@
+package main
+
+// compare.go is taqbench's regression gate: -compare diffs the current
+// run's report against a committed baseline (BENCH_baseline.json) and
+// exits non-zero when it drifts beyond -tolerance.
+//
+// The two halves of the report get different treatment. Experiment
+// metrics are deterministic for a fixed seed and scale, so a deviation
+// in either direction is a behavior change and is flagged — the
+// tolerance only absorbs float formatting jitter and intentional small
+// recalibrations. Wall times are noisy, so they are flagged only when
+// the current run is slower than baseline by more than the tolerance;
+// getting faster is never a regression.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// loadReport reads a -json report written by a previous taqbench run.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// wallSlackSecs is the absolute slack on wall-time comparisons: at
+// smoke scale an experiment finishes in well under a second, where a
+// percentage tolerance is indistinguishable from scheduler noise. A
+// slowdown must exceed both the relative tolerance and this floor.
+const wallSlackSecs = 1.0
+
+// compareReports returns one line per regression of cur against base.
+// tolerancePct is a percentage (15 means ±15% on metrics, +15% on
+// wall time).
+func compareReports(cur, base *report, tolerancePct float64) []string {
+	tol := tolerancePct / 100
+	var regs []string
+
+	byName := make(map[string]*expReport, len(cur.Experiments))
+	for i := range cur.Experiments {
+		byName[cur.Experiments[i].Name] = &cur.Experiments[i]
+	}
+	for _, b := range base.Experiments {
+		c, ok := byName[b.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("experiment %s: in baseline but missing from this run", b.Name))
+			continue
+		}
+		keys := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bv := b.Metrics[k]
+			cv, ok := c.Metrics[k]
+			if !ok {
+				regs = append(regs, fmt.Sprintf("%s %s: in baseline but missing from this run", b.Name, k))
+				continue
+			}
+			if bv == 0 {
+				if math.Abs(cv) > 1e-9 {
+					regs = append(regs, fmt.Sprintf("%s %s: %g, baseline 0", b.Name, k, cv))
+				}
+				continue
+			}
+			if d := (cv - bv) / math.Abs(bv); math.Abs(d) > tol {
+				regs = append(regs, fmt.Sprintf("%s %s: %g, baseline %g (%+.1f%%, tolerance ±%.0f%%)",
+					b.Name, k, cv, bv, 100*d, tolerancePct))
+			}
+		}
+		if b.WallSecs > 0 && c.WallSecs > b.WallSecs*(1+tol) && c.WallSecs-b.WallSecs > wallSlackSecs {
+			regs = append(regs, fmt.Sprintf("%s wall time: %.2fs, baseline %.2fs (+%.1f%%, tolerance +%.0f%%)",
+				b.Name, c.WallSecs, b.WallSecs, 100*(c.WallSecs-b.WallSecs)/b.WallSecs, tolerancePct))
+		}
+	}
+	if base.TotalWallSecs > 0 && cur.TotalWallSecs > base.TotalWallSecs*(1+tol) && cur.TotalWallSecs-base.TotalWallSecs > wallSlackSecs {
+		regs = append(regs, fmt.Sprintf("total wall time: %.2fs, baseline %.2fs (+%.1f%%, tolerance +%.0f%%)",
+			cur.TotalWallSecs, base.TotalWallSecs, 100*(cur.TotalWallSecs-base.TotalWallSecs)/base.TotalWallSecs, tolerancePct))
+	}
+	return regs
+}

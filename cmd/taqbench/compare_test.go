@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchReport(jfi, wall, total float64) *report {
+	return &report{
+		Experiments: []expReport{{
+			Name:     "fig8",
+			WallSecs: wall,
+			Metrics:  map[string]float64{"subpacket_short_jfi": jfi, "points": 40},
+		}},
+		TotalWallSecs: total,
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := benchReport(0.80, 10, 12)
+	cases := []struct {
+		name string
+		cur  *report
+		tol  float64
+		want string // required substring of some regression line; "" = no regressions
+	}{
+		{"identical", benchReport(0.80, 10, 12), 15, ""},
+		{"metric drift inside tolerance", benchReport(0.74, 10, 12), 15, ""},
+		{"metric drop beyond tolerance", benchReport(0.60, 10, 12), 15, "subpacket_short_jfi"},
+		{"metric rise beyond tolerance is also drift", benchReport(1.00, 10, 12), 15, "subpacket_short_jfi"},
+		{"faster is never a regression", benchReport(0.80, 2, 3), 15, ""},
+		{"slower beyond tolerance", benchReport(0.80, 13, 12), 15, "fig8 wall time"},
+		{"sub-second jitter is ignored", benchReport(0.80, 10.9, 12), 15, ""},
+		{"total slower beyond tolerance", benchReport(0.80, 10, 20), 15, "total wall time"},
+		{"tolerance widens the gate", benchReport(0.60, 10, 12), 50, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := compareReports(tc.cur, base, tc.tol)
+			if tc.want == "" {
+				if len(regs) != 0 {
+					t.Fatalf("want no regressions, got %v", regs)
+				}
+				return
+			}
+			for _, r := range regs {
+				if strings.Contains(r, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("no regression line contains %q in %v", tc.want, regs)
+		})
+	}
+}
+
+func TestCompareReportsMissing(t *testing.T) {
+	base := benchReport(0.80, 10, 12)
+	base.Experiments[0].Metrics["extra_metric"] = 1
+
+	t.Run("missing metric", func(t *testing.T) {
+		regs := compareReports(benchReport(0.80, 10, 12), base, 15)
+		if len(regs) != 1 || !strings.Contains(regs[0], "extra_metric") {
+			t.Fatalf("want one missing-metric regression, got %v", regs)
+		}
+	})
+	t.Run("missing experiment", func(t *testing.T) {
+		regs := compareReports(&report{}, base, 15)
+		if len(regs) != 1 || !strings.Contains(regs[0], "experiment fig8") {
+			t.Fatalf("want one missing-experiment regression, got %v", regs)
+		}
+	})
+	t.Run("zero baseline metric", func(t *testing.T) {
+		b := benchReport(0.80, 10, 12)
+		b.Experiments[0].Metrics["zeroed"] = 0
+		cur := benchReport(0.80, 10, 12)
+		cur.Experiments[0].Metrics["zeroed"] = 0.5
+		regs := compareReports(cur, b, 15)
+		if len(regs) != 1 || !strings.Contains(regs[0], "zeroed") {
+			t.Fatalf("want one zero-baseline regression, got %v", regs)
+		}
+	})
+}

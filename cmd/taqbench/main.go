@@ -15,6 +15,12 @@
 //	taqbench -experiment all -scale 1        # paper scale (slow)
 //	taqbench -experiment fig2 -parallel 8 -baseline
 //	taqbench -json -scale 0.05 -out BENCH_results.json
+//	taqbench -json -scale 0.05 -compare BENCH_baseline.json -tolerance 15
+//
+// -compare gates on regressions against a committed baseline report
+// (see compare.go): deterministic experiment metrics may drift at most
+// -tolerance percent in either direction, wall time may only be that
+// much slower. Non-zero exit on any regression.
 package main
 
 import (
@@ -70,6 +76,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
 		outPath  = flag.String("out", "", "write the JSON report to this file (default stdout)")
 		baseline = flag.Bool("baseline", false, "also run each experiment serially and report the parallel speedup")
+		compare  = flag.String("compare", "", "compare this run against a baseline JSON report (e.g. BENCH_baseline.json) and exit non-zero on regression")
+		tolPct   = flag.Float64("tolerance", 15, "regression tolerance for -compare, in percent (metrics ±, wall time +)")
 
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -340,6 +348,22 @@ func main() {
 		} else {
 			os.Stdout.Write(enc)
 		}
+	}
+
+	if *compare != "" {
+		base, err := loadReport(*compare)
+		if err != nil {
+			fail(err)
+		}
+		regs := compareReports(&rep, base, *tolPct)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "taqbench: regression:", r)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "taqbench: %d regression(s) vs %s (tolerance %.0f%%)\n", len(regs), *compare, *tolPct)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[no regressions vs %s at %.0f%% tolerance]\n", *compare, *tolPct)
 	}
 }
 

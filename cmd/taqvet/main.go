@@ -5,6 +5,7 @@
 //	go run ./cmd/taqvet -format sarif -out taqvet.sarif ./...
 //	go run ./cmd/taqvet -audit ./...
 //	go run ./cmd/taqvet -roots ./...
+//	go run ./cmd/taqvet -annotations ./...
 //
 // The default format prints "file:line:col: message [analyzer]" per
 // finding; -format json/sarif/github emit machine-readable output.
@@ -13,7 +14,10 @@
 // unknown analyzer names, //taq:hotpath on anything but a function
 // declaration with a body). -roots prints the declared //taq:hotpath
 // roots and the per-package closure sizes — CI diffs this against the
-// committed docs/hotpath-closure.txt baseline.
+// committed docs/hotpath-closure.txt baseline. -annotations prints the
+// //taq:shardowned, //taq:crossshard, //taq:atomic, and //taq:layout
+// contract inventory the same way — CI diffs it against
+// docs/taq-annotations.txt.
 //
 // Exit status: 0 clean, 1 findings, 2 on usage errors or when any
 // package fails to load or type-check (the failing package is named).
@@ -44,8 +48,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write output to this file instead of stdout")
 	audit := fs.Bool("audit", false, "also report stale //taq:allow and malformed //taq: directives (requires the full suite)")
 	roots := fs.Bool("roots", false, "print the //taq:hotpath roots and closure size per package, then exit")
+	annotations := fs.Bool("annotations", false, "print the shardowned/crossshard/atomic/layout annotation inventory, then exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: taqvet [-list] [-roots] [-only a,b] [-format text|json|sarif|github] [-out file] [-audit] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: taqvet [-list] [-roots] [-annotations] [-only a,b] [-format text|json|sarif|github] [-out file] [-audit] [packages]\n\n")
 		fmt.Fprintf(stderr, "Runs TAQ's determinism & concurrency analyzers (default ./...).\n")
 		fs.PrintDefaults()
 	}
@@ -108,6 +113,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *roots {
 		if err := analysis.WriteRoots(stdout, pkgs); err != nil {
 			fmt.Fprintf(stderr, "taqvet: writing roots: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	if *annotations {
+		if err := analysis.WriteAnnotations(stdout, pkgs); err != nil {
+			fmt.Fprintf(stderr, "taqvet: writing annotations: %v\n", err)
 			return 2
 		}
 		return 0

@@ -67,6 +67,45 @@ func TestRootsOutput(t *testing.T) {
 	}
 }
 
+// TestAnnotationsOutput pins the -annotations contract CI's baseline
+// cmp relies on: one line per contract annotation in fixed order, a
+// total line, exit 0 regardless of findings, and byte-identical output
+// across runs.
+func TestAnnotationsOutput(t *testing.T) {
+	fixtures := []string{
+		"-annotations",
+		"../../internal/analysis/testdata/src/shardown",
+		"../../internal/analysis/testdata/src/shardown/shardsub",
+		"../../internal/analysis/testdata/src/atomicfield",
+		"../../internal/analysis/testdata/src/layout",
+	}
+	var first string
+	for i := 0; i < 2; i++ {
+		var stdout, stderr bytes.Buffer
+		if code := run(fixtures, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+		}
+		if i == 0 {
+			first = stdout.String()
+			continue
+		}
+		if stdout.String() != first {
+			t.Fatalf("-annotations output not byte-stable:\n%s\nvs\n%s", first, stdout.String())
+		}
+	}
+	for _, want := range []string{
+		"shardowned taq/internal/analysis/testdata/src/shardown.Owned",
+		"crossshard taq/internal/analysis/testdata/src/shardown.Handoff",
+		"atomic taq/internal/analysis/testdata/src/atomicfield.shared.hits",
+		"layout taq/internal/analysis/testdata/src/layout.rec size=24 align=8 hotbytes=0..16",
+		"total 2 shardowned, 2 crossshard, 3 atomic, 5 layout",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("-annotations output missing %q:\n%s", want, first)
+		}
+	}
+}
+
 // TestSARIFShape validates the 2.1.0 envelope of -format sarif: schema,
 // version, one run with driver name and rules, and results whose
 // locations carry file/line.

@@ -108,7 +108,7 @@ func DefaultConfig() *Config {
 			// Wildcard patterns never expand into testdata, so these
 			// only match when a fixture is named explicitly, e.g.
 			//   go run ./cmd/taqvet ./internal/analysis/testdata/src/wallclock
-			"wallclock", "maprange", "timerleak", "detaint",
+			"wallclock", "maprange", "timerleak", "detaint", "allowfunc",
 		},
 		LockPackages: []string{"emu", "lockdiscipline"},
 		NoallocPackages: []string{
@@ -174,7 +174,7 @@ func containsBase(list []string, pkgPath string) bool {
 
 // All returns the full analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapRange, TimerLeak, LockDiscipline, TimerOwn, SimTime, Detaint, NoAlloc, NoBlock, LockOrder}
+	return []*Analyzer{Wallclock, MapRange, TimerLeak, LockDiscipline, TimerOwn, SimTime, Detaint, NoAlloc, NoBlock, LockOrder, ShardOwn, AtomicField, Layout}
 }
 
 // Run applies the configured analyzers to every package and returns the
@@ -260,28 +260,56 @@ func SortDiagnostics(out []Diagnostic) {
 
 // allowSet records //taq:allow suppression comments: a diagnostic is
 // suppressed when an allow comment naming its analyzer sits on the same
-// line or on the line immediately above. Each directive tracks whether
-// it ever suppressed anything, so RunAudit can flag stale ones.
+// line or on the line immediately above, or when a //taq:allow(func)
+// directive in the enclosing function's doc comment names it. Each
+// directive tracks whether it ever suppressed anything, so RunAudit can
+// flag stale ones.
 type allowSet struct {
 	// byFile maps filename -> line -> directives declared there.
-	byFile  map[string]map[int][]*allowEntry
+	byFile map[string]map[int][]*allowEntry
+	// ranged maps filename -> function-scoped allow(func) directives.
+	ranged  map[string][]*allowEntry
 	entries []*allowEntry
 }
 
-// allowEntry is one analyzer name of one //taq:allow directive.
+// allowEntry is one analyzer name of one //taq:allow or
+// //taq:allow(func) directive.
 type allowEntry struct {
 	pos  token.Position
 	name string
 	used bool
+	// scoped entries suppress any line of the annotated function's
+	// declaration range instead of one source line.
+	scoped   bool
+	fromLine int
+	toLine   int
 }
 
 func collectAllows(pkg *Package) *allowSet {
-	s := &allowSet{byFile: make(map[string]map[int][]*allowEntry)}
+	s := &allowSet{
+		byFile: make(map[string]map[int][]*allowEntry),
+		ranged: make(map[string][]*allowEntry),
+	}
+	// Line ranges for //taq:allow(func): a directive in a function's
+	// doc comment suppresses findings anywhere in the declaration.
+	funcRange := make(map[*ast.Comment][2]int)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			r := [2]int{pkg.Fset.Position(fd.Pos()).Line, pkg.Fset.Position(fd.End()).Line}
+			for _, c := range fd.Doc.List {
+				funcRange[c] = r
+			}
+		}
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				word, rest, ok := taqDirective(c.Text)
-				if !ok || word != "allow" {
+				if !ok || (word != "allow" && word != "allow(func)") {
 					continue
 				}
 				fields := strings.Fields(rest)
@@ -292,6 +320,21 @@ func collectAllows(pkg *Package) *allowSet {
 				// is free-form rationale.
 				names := strings.Split(fields[0], ",")
 				pos := pkg.Fset.Position(c.Pos())
+				if word == "allow(func)" {
+					r, ok := funcRange[c]
+					if !ok {
+						continue // misplaced; collectMalformed reports it
+					}
+					for _, name := range names {
+						if name == "" {
+							continue // malformed; collectMalformed reports it
+						}
+						e := &allowEntry{pos: pos, name: name, scoped: true, fromLine: r[0], toLine: r[1]}
+						s.ranged[pos.Filename] = append(s.ranged[pos.Filename], e)
+						s.entries = append(s.entries, e)
+					}
+					continue
+				}
 				lines := s.byFile[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]*allowEntry)
@@ -313,21 +356,78 @@ func collectAllows(pkg *Package) *allowSet {
 
 // collectMalformed reports //taq: directives the suite cannot honor:
 // unknown directive words (a typo like //taq:alow silently disables a
-// gate), allow directives with an empty or partially empty analyzer
-// list, and hotpath directives outside a function's doc comment. They
-// travel with the stale list so -audit exits non-zero on them.
+// gate), allow/allow(func) directives with an empty or partially empty
+// analyzer list, directives outside the declaration kind they annotate
+// (hotpath/crossshard/allow(func) on functions, shardowned/layout on
+// type declarations, atomic on struct fields or package-level vars),
+// and layout specs that fail to parse. They travel with the stale list
+// so -audit exits non-zero on them. The checks use only the ASTs —
+// never type info — so FuzzParseDirectives can drive them directly.
 func collectMalformed(pkg *Package) []Diagnostic {
-	// Comments that legitimately host //taq:hotpath: doc comments of
-	// function declarations with bodies.
-	hotOK := make(map[*ast.Comment]bool)
+	// Comments that legitimately host function-level directives
+	// (//taq:hotpath, //taq:crossshard, //taq:allow(func)): doc
+	// comments of function declarations with bodies.
+	funcDoc := make(map[*ast.Comment]bool)
+	// Doc comments of type declarations, for shardowned/layout.
+	typeSpecOf := make(map[*ast.Comment]*ast.TypeSpec)
+	// Comments attached to named fields of top-level struct types, and
+	// to package-level var specs, for //taq:atomic.
+	fieldOf := make(map[*ast.Comment]*ast.Field)
+	varDoc := make(map[*ast.Comment]bool)
 	for _, f := range pkg.Files {
 		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil || fd.Body == nil {
-				continue
-			}
-			for _, c := range fd.Doc.List {
-				hotOK[c] = true
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Doc == nil || d.Body == nil {
+					continue
+				}
+				for _, c := range d.Doc.List {
+					funcDoc[c] = true
+				}
+			case *ast.GenDecl:
+				mark := func(doc *ast.CommentGroup, f func(*ast.Comment)) {
+					if doc == nil {
+						return
+					}
+					for _, c := range doc.List {
+						f(c)
+					}
+				}
+				if d.Tok == token.TYPE {
+					for _, s := range d.Specs {
+						ts, ok := s.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						markTS := func(c *ast.Comment) { typeSpecOf[c] = ts }
+						if len(d.Specs) == 1 {
+							mark(d.Doc, markTS)
+						}
+						mark(ts.Doc, markTS)
+						mark(ts.Comment, markTS)
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							for _, fld := range st.Fields.List {
+								markFld := func(c *ast.Comment) { fieldOf[c] = fld }
+								mark(fld.Doc, markFld)
+								mark(fld.Comment, markFld)
+							}
+						}
+					}
+				}
+				if d.Tok == token.VAR {
+					for _, s := range d.Specs {
+						vs, ok := s.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						markVar := func(c *ast.Comment) { varDoc[c] = true }
+						if len(d.Specs) == 1 {
+							mark(d.Doc, markVar)
+						}
+						mark(vs.Doc, markVar)
+						mark(vs.Comment, markVar)
+					}
+				}
 			}
 		}
 	}
@@ -339,6 +439,21 @@ func collectMalformed(pkg *Package) []Diagnostic {
 			Message:  fmt.Sprintf(format, args...),
 		})
 	}
+	// checkList validates the analyzer-name list shared by allow and
+	// allow(func).
+	checkList := func(c *ast.Comment, word, rest string) {
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			report(c, "malformed //taq:%s: missing analyzer list (want //taq:%s <name>[,<name>...] rationale)", word, word)
+			return
+		}
+		for _, name := range strings.Split(fields[0], ",") {
+			if name == "" {
+				report(c, "malformed //taq:%s %s: empty analyzer name in list", word, fields[0])
+				break
+			}
+		}
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -348,23 +463,48 @@ func collectMalformed(pkg *Package) []Diagnostic {
 				}
 				switch word {
 				case "allow":
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
-						report(c, "malformed //taq:allow: missing analyzer list (want //taq:allow <name>[,<name>...] rationale)")
+					checkList(c, word, rest)
+				case "allow(func)":
+					if !funcDoc[c] {
+						report(c, "misplaced //taq:allow(func): the directive must sit in the doc comment of a function declaration")
 						continue
 					}
-					for _, name := range strings.Split(fields[0], ",") {
-						if name == "" {
-							report(c, "malformed //taq:allow %s: empty analyzer name in list", fields[0])
-							break
-						}
-					}
+					checkList(c, word, rest)
 				case "hotpath":
-					if !hotOK[c] {
+					if !funcDoc[c] {
 						report(c, "misplaced //taq:hotpath: the directive must sit in the doc comment of a function declaration")
 					}
+				case "crossshard":
+					if !funcDoc[c] {
+						report(c, "misplaced //taq:crossshard: the directive must sit in the doc comment of a function declaration")
+					}
+				case "shardowned":
+					if typeSpecOf[c] == nil {
+						report(c, "misplaced //taq:shardowned: the directive must sit in the doc comment of a type declaration")
+					}
+				case "atomic":
+					if fld := fieldOf[c]; fld != nil {
+						if len(fld.Names) == 0 {
+							report(c, "//taq:atomic on an embedded field is not supported — name the field")
+						}
+					} else if !varDoc[c] {
+						report(c, "misplaced //taq:atomic: the directive must annotate a struct field or a package-level var")
+					}
+				case "layout":
+					ts := typeSpecOf[c]
+					if ts == nil {
+						report(c, "misplaced //taq:layout: the directive must sit in the doc comment of a struct type declaration")
+						continue
+					}
+					if _, ok := ts.Type.(*ast.StructType); !ok {
+						report(c, "//taq:layout on non-struct type %s — only structs have a layout to pin", ts.Name.Name)
+						continue
+					}
+					if _, err := parseLayoutSpec(rest); err != nil {
+						report(c, "malformed //taq:layout: %v", err)
+					}
 				default:
-					report(c, "unknown directive //taq:%s (want allow or hotpath)", word)
+					report(c, "unknown directive //taq:%s (want allow, allow(func), hotpath, shardowned, crossshard, atomic, or layout)", word)
 				}
 			}
 		}
@@ -373,17 +513,21 @@ func collectMalformed(pkg *Package) []Diagnostic {
 }
 
 func (s *allowSet) suppressed(d Diagnostic) bool {
-	lines := s.byFile[d.Pos.Filename]
-	if lines == nil {
-		return false
-	}
 	hit := false
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, e := range lines[line] {
-			if e.name == d.Analyzer || e.name == "all" {
-				e.used = true
-				hit = true
+	if lines := s.byFile[d.Pos.Filename]; lines != nil {
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, e := range lines[line] {
+				if e.name == d.Analyzer || e.name == "all" {
+					e.used = true
+					hit = true
+				}
 			}
+		}
+	}
+	for _, e := range s.ranged[d.Pos.Filename] {
+		if d.Pos.Line >= e.fromLine && d.Pos.Line <= e.toLine && (e.name == d.Analyzer || e.name == "all") {
+			e.used = true
+			hit = true
 		}
 	}
 	return hit
@@ -399,19 +543,23 @@ func (s *allowSet) stale(ran, known map[string]bool) []Diagnostic {
 		if e.used {
 			continue
 		}
+		word := "//taq:allow"
+		if e.scoped {
+			word = "//taq:allow(func)"
+		}
 		switch {
 		case !known[e.name] && e.name != "all":
 			out = append(out, Diagnostic{
 				Pos:      e.pos,
 				Analyzer: "audit",
-				Message:  fmt.Sprintf("//taq:allow names unknown analyzer %q (typo? see taqvet -list)", e.name),
+				Message:  fmt.Sprintf("%s names unknown analyzer %q (typo? see taqvet -list)", word, e.name),
 			})
 		case e.name == "all" || ran[e.name]:
-			out = append(out, Diagnostic{
-				Pos:      e.pos,
-				Analyzer: "audit",
-				Message:  fmt.Sprintf("stale //taq:allow %s: it suppresses no finding — delete the directive", e.name),
-			})
+			msg := fmt.Sprintf("stale %s %s: it suppresses no finding — delete the directive", word, e.name)
+			if e.scoped {
+				msg = fmt.Sprintf("stale %s %s: no line in the function produces a finding — delete the directive", word, e.name)
+			}
+			out = append(out, Diagnostic{Pos: e.pos, Analyzer: "audit", Message: msg})
 		}
 	}
 	return out

@@ -56,9 +56,20 @@ func posKey(pos token.Position) string {
 // the diagnostics to match the // want expectations exactly.
 func runCase(t *testing.T, dir string, analyzers ...*Analyzer) {
 	t.Helper()
-	pkgs, err := Load(".", "./testdata/src/"+dir)
+	runCaseDirs(t, []string{dir}, analyzers...)
+}
+
+// runCaseDirs is runCase over several fixture packages loaded together
+// — the shardown contract needs an owner package plus a foreign one.
+func runCaseDirs(t *testing.T, dirs []string, analyzers ...*Analyzer) {
+	t.Helper()
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./testdata/src/" + d
+	}
+	pkgs, err := Load(".", patterns...)
 	if err != nil {
-		t.Fatalf("loading testdata/%s: %v", dir, err)
+		t.Fatalf("loading testdata %v: %v", dirs, err)
 	}
 	expected := wants(t, pkgs)
 	diags := Run(pkgs, testConfig(analyzers...))
@@ -108,6 +119,111 @@ func TestHotpathPropagation(t *testing.T) { runCase(t, "hotpath", NoAlloc) }
 func TestNoAlloc(t *testing.T)            { runCase(t, "noalloc", NoAlloc) }
 func TestNoBlock(t *testing.T)            { runCase(t, "noblock", NoBlock) }
 func TestLockOrder(t *testing.T)          { runCase(t, "lockorder", LockOrder) }
+
+// The v4 contract analyzers: shardown needs the owner package plus a
+// foreign package to exercise the cross-package boundary rule.
+func TestShardOwn(t *testing.T)    { runCaseDirs(t, []string{"shardown", "shardown/shardsub"}, ShardOwn) }
+func TestAtomicField(t *testing.T) { runCase(t, "atomicfield", AtomicField) }
+func TestLayout(t *testing.T)      { runCase(t, "layout", Layout) }
+
+// TestAllowFunc checks the function-scoped suppression: wallclock runs
+// over the fixture and only the undirected function reports.
+func TestAllowFunc(t *testing.T) { runCase(t, "allowfunc", Wallclock) }
+
+// TestAllowFuncStale pins the allow(func) audit semantics: a directive
+// whose function produces no matching finding is stale; one that
+// suppressed something is not; an unjudged analyzer stays silent.
+func TestAllowFuncStale(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/allowfunc")
+	if err != nil {
+		t.Fatalf("loading testdata/allowfunc: %v", err)
+	}
+	_, stale := RunAudit(pkgs, testConfig(Wallclock, MapRange))
+	var gotStale bool
+	for _, d := range stale {
+		if strings.Contains(d.Message, "stale //taq:allow(func) maprange") {
+			gotStale = true
+		}
+		if strings.Contains(d.Message, "allow(func) wallclock") {
+			t.Errorf("live allow(func) flagged stale: %s", d)
+		}
+	}
+	if !gotStale {
+		t.Errorf("missing stale report for allow(func) maprange; got %v", stale)
+	}
+	// When maprange does not run, its directive must not be judged.
+	_, stale = RunAudit(pkgs, testConfig(Wallclock))
+	for _, d := range stale {
+		if strings.Contains(d.Message, "maprange") {
+			t.Errorf("directive for non-running analyzer flagged: %s", d)
+		}
+	}
+}
+
+// TestAnnotationsInventory pins the WriteAnnotations baseline format:
+// byte-stable across calls, every directive kind listed, and the
+// totals line consistent with the fixture contents.
+func TestAnnotationsInventory(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/shardown", "./testdata/src/shardown/shardsub",
+		"./testdata/src/atomicfield", "./testdata/src/layout")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	var a, b strings.Builder
+	if err := WriteAnnotations(&a, pkgs); err != nil {
+		t.Fatalf("WriteAnnotations: %v", err)
+	}
+	WriteAnnotations(&b, pkgs)
+	if a.String() != b.String() {
+		t.Error("WriteAnnotations output is not stable across calls")
+	}
+	for _, want := range []string{
+		"shardowned taq/internal/analysis/testdata/src/shardown.Owned\n",
+		"shardowned taq/internal/analysis/testdata/src/shardown.handles\n",
+		"crossshard taq/internal/analysis/testdata/src/shardown.Handoff\n",
+		"crossshard taq/internal/analysis/testdata/src/shardown/shardsub.aggregate\n",
+		"atomic taq/internal/analysis/testdata/src/atomicfield.shared.hits\n",
+		"atomic taq/internal/analysis/testdata/src/atomicfield.workers\n",
+		"layout taq/internal/analysis/testdata/src/layout.rec size=24 align=8 hotbytes=0..16\n",
+		"total 2 shardowned, 2 crossshard, 3 atomic, 5 layout\n",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("inventory missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestParseLayoutSpec covers the spec grammar the fuzzer explores.
+func TestParseLayoutSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		want string
+	}{
+		{"size=200", true, "size=200"},
+		{"size=200 align=64 hotbytes=0..136", true, "size=200 align=64 hotbytes=0..136"},
+		{"hotbytes=32..136", true, "hotbytes=32..136"},
+		{"", false, ""},
+		{"size=", false, ""},
+		{"size=-8", false, ""},
+		{"align=48", false, ""}, // not a power of two
+		{"hotbytes=10..2", false, ""},
+		{"hotbytes=0..", false, ""},
+		{"size=8 size=8", false, ""},
+		{"size=8 extra words", false, ""},
+		{"width=8", false, ""},
+	}
+	for _, c := range cases {
+		spec, err := parseLayoutSpec(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseLayoutSpec(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && spec.canonical() != c.want {
+			t.Errorf("parseLayoutSpec(%q).canonical() = %q, want %q", c.in, spec.canonical(), c.want)
+		}
+	}
+}
 
 // TestHotpathClosure pins the call-graph API the -roots baseline and
 // the alloc-test table rely on: the fixture root is listed, every
@@ -178,6 +294,13 @@ func TestAuditMalformed(t *testing.T) {
 		"misplaced //taq:hotpath",
 		"empty analyzer name",
 		`unknown analyzer "wallclck"`,
+		"misplaced //taq:shardowned",
+		"misplaced //taq:crossshard",
+		"malformed //taq:allow(func): missing analyzer list",
+		"misplaced //taq:allow(func)",
+		"malformed //taq:layout: size=notanumber is not a positive integer",
+		"//taq:layout on non-struct type W",
+		"misplaced //taq:atomic",
 	} {
 		found := false
 		for _, d := range stale {

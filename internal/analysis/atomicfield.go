@@ -1,0 +1,255 @@
+package analysis
+
+// atomicfield enforces the atomic-discipline contract the cross-shard
+// loss-window/admission aggregates will live under: a struct field or
+// package-level var annotated //taq:atomic may be touched only through
+// the sync/atomic package — atomic.AddInt64(&s.f, ...) style calls, or
+// the method set of an atomic.* typed field (s.f.Load()). Everything
+// else is a finding:
+//
+//   - a plain read or write (including ++/--);
+//   - taking the field's address for anything but a sync/atomic call
+//     (the address then escapes to code this analyzer cannot see);
+//   - copying the containing struct by value, which smuggles a
+//     non-atomic snapshot of the field out from under the contract.
+//
+// Composite-literal construction is exempt: initialization happens
+// before the value is shared. Known gaps, documented rather than
+// guessed at: a range over []T copies elements, and a value-receiver
+// method call copies its receiver — neither is flagged yet.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField restricts //taq:atomic fields and vars to sync/atomic.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "//taq:atomic fields/vars must be accessed via sync/atomic only (plain reads/writes, address escapes, struct copies are findings)",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	c := pass.Prog.contractsIndex()
+	if len(c.atomicObjs) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		checkAtomicFile(pass, f, c)
+	}
+}
+
+func checkAtomicFile(pass *Pass, f *ast.File, c *contracts) {
+	info := pass.Pkg.Info
+
+	// Parent links, for classifying how a marked expression is used.
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(nd ast.Node) bool {
+		if nd == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[nd] = stack[len(stack)-1]
+		}
+		stack = append(stack, nd)
+		return true
+	})
+	parentOf := func(nd ast.Node) ast.Node {
+		p := parents[nd]
+		for {
+			pe, ok := p.(*ast.ParenExpr)
+			if !ok {
+				return p
+			}
+			p = parents[pe]
+		}
+	}
+
+	// markedObj resolves an expression to its annotated object. Fields
+	// are keyed through the receiver's named type (typeKey + field), so
+	// the resolution survives the source/export-data identity split;
+	// package vars are keyed by pkgpath.name via atomicVarKey.
+	markedObj := func(e ast.Expr) (types.Object, string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[e]; o != nil {
+				if label, ok := c.atomicObjs[atomicVarKey(o)]; ok {
+					return o, label, true
+				}
+			}
+		case *ast.SelectorExpr:
+			o := info.Uses[e.Sel]
+			if o == nil {
+				return nil, "", false
+			}
+			if v, ok := o.(*types.Var); ok && v.IsField() {
+				if sel := info.Selections[e]; sel != nil {
+					if label, ok := c.atomicObjs[atomicFieldKey(sel.Recv(), v.Name())]; ok {
+						return o, label, true
+					}
+				}
+				return nil, "", false
+			}
+			if label, ok := c.atomicObjs[atomicVarKey(o)]; ok {
+				return o, label, true
+			}
+		}
+		return nil, "", false
+	}
+
+	// Pass 1: sanction the blessed access shapes — &x.f as argument to
+	// a sync/atomic function, and x.f as receiver of an atomic.* method.
+	sanctioned := make(map[ast.Node]bool)
+	ast.Inspect(f, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				if _, _, ok := markedObj(ue.X); ok {
+					sanctioned[ue] = true
+					sanctioned[ast.Unparen(ue.X)] = true
+				}
+			}
+		}
+		if _, _, ok := markedObj(sel.X); ok && isAtomicPkgType(info.TypeOf(sel.X)) {
+			sanctioned[ast.Unparen(sel.X)] = true
+		}
+		return true
+	})
+
+	report := func(o types.Object, pos token.Pos, format string, args ...any) {
+		ownerPath := "?"
+		if o.Pkg() != nil {
+			ownerPath = o.Pkg().Path()
+		}
+		args = append(args, ownerPath)
+		pass.Reportf(pos, format+" (owner %s)", args...)
+	}
+
+	// Pass 2: every remaining use of a marked object is classified.
+	checkUse := func(e ast.Expr, o types.Object, label string) {
+		if sanctioned[e] {
+			return
+		}
+		kind := "field"
+		if v, ok := o.(*types.Var); !ok || !v.IsField() {
+			kind = "var"
+		}
+		switch p := parentOf(e).(type) {
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				if sanctioned[p] {
+					return
+				}
+				report(o, e.Pos(), "address of atomic %s %s escapes to non-atomic code — pass it only to sync/atomic", kind, label)
+				return
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == e {
+					report(o, e.Pos(), "plain write to atomic %s %s — use sync/atomic (or the atomic.* method set)", kind, label)
+					return
+				}
+			}
+		case *ast.IncDecStmt:
+			report(o, e.Pos(), "plain write to atomic %s %s — use sync/atomic Add", kind, label)
+			return
+		case *ast.KeyValueExpr:
+			if p.Key == e {
+				return // composite-literal initialization is exempt
+			}
+		case *ast.SelectorExpr:
+			if p.X == e {
+				report(o, e.Pos(), "non-atomic access through atomic %s %s — use the atomic.* method set", kind, label)
+				return
+			}
+		}
+		report(o, e.Pos(), "plain read of atomic %s %s — use sync/atomic (or the atomic.* method set)", kind, label)
+	}
+
+	ast.Inspect(f, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.SelectorExpr:
+			if o, label, ok := markedObj(x); ok {
+				checkUse(x, o, label)
+			}
+		case *ast.Ident:
+			// The Sel of a selector was handled with its parent.
+			if p, ok := parents[x].(*ast.SelectorExpr); ok && p.Sel == x {
+				return true
+			}
+			if o, label, ok := markedObj(x); ok {
+				checkUse(x, o, label)
+			}
+		}
+		return true
+	})
+
+	// Pass 3: by-value copies of structs that contain atomic fields.
+	ast.Inspect(f, func(nd ast.Node) bool {
+		e, ok := nd.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			return true
+		}
+		tv, ok := info.Types[e]
+		if !ok || !tv.IsValue() {
+			return true
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			return true
+		}
+		fields, ok := c.atomicOwners[typeKey(named.Obj())]
+		if !ok {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok && info.Uses[id] == nil {
+			return true // declaration site, not a use
+		}
+		switch p := parentOf(e).(type) {
+		case *ast.SelectorExpr:
+			if p.X == e {
+				return true // member access reads one field, not a copy
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return true // &s takes the address, no copy
+			}
+		}
+		pass.Reportf(e.Pos(), "copy of %s smuggles its atomic field(s) %s outside sync/atomic — pass a pointer (owner %s)",
+			ownerLabel(named.Obj()), fields, named.Obj().Pkg().Path())
+		return true
+	})
+}
+
+// isAtomicPkgType reports whether t (or *t) is a named type declared
+// in sync/atomic — atomic.Int64, atomic.Value, and friends.
+func isAtomicPkgType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}

@@ -101,6 +101,10 @@ type Program struct {
 
 	lockOnce  bool
 	lockCache []lockDiag
+
+	// contr is the lazily built v4 annotation index (directives.go);
+	// it needs only the ASTs and type info, never the call graph.
+	contr *contracts
 }
 
 // NewProgram wraps pkgs; the call graph is built on first use.

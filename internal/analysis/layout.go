@@ -1,0 +1,88 @@
+package analysis
+
+// layout verifies //taq:layout struct directives against go/types
+// sizes: size=N pins Sizeof exactly (the 200-byte flowInfo record the
+// 1M-flow benchmarks depend on), align=N requires the struct to be
+// padded to a multiple of N (cache-line padding on structs destined to
+// become per-shard headers), and hotbytes=LO..HI pins the hot-core
+// section edges to real field boundaries — a field moved across the
+// boundary, or padding drift that grows the record, fails `make check`
+// instead of the benchmark.
+//
+// All sizes come from one fixed model: gc on amd64 (layoutSizes).
+// Pinning one model keeps directive values and the committed
+// docs/taq-annotations.txt baseline identical on every dev machine and
+// in CI; it is the deployment target the paper's numbers assume, and
+// the repo's records use fixed-width fields so arm64 agrees anyway.
+
+import (
+	"go/types"
+)
+
+// Layout verifies //taq:layout size/align/hotbytes pins.
+var Layout = &Analyzer{
+	Name: "layout",
+	Doc:  "//taq:layout size=N / align=N / hotbytes=LO..HI struct pins verified against the gc/amd64 size model",
+	Run:  runLayout,
+}
+
+// layoutSizes is the deployment size model (see package comment above).
+var layoutSizes = types.SizesFor("gc", "amd64")
+
+func runLayout(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, pin := range pass.Prog.contractsIndex().layouts {
+		if pin.pkg == pass.Pkg {
+			checkLayoutPin(pass, pin)
+		}
+	}
+}
+
+func checkLayoutPin(pass *Pass, pin layoutPin) {
+	t := pin.tn.Type()
+	if n, ok := t.(*types.Named); ok && n.TypeParams().Len() > 0 {
+		return // generic: no single concrete layout to pin
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return // misplaced directive; collectMalformed reports it
+	}
+	label := ownerLabel(pin.tn)
+	size := layoutSizes.Sizeof(t)
+	if pin.spec.size >= 0 && size != pin.spec.size {
+		pass.Reportf(pin.pos, "struct %s is %d bytes; //taq:layout pins size=%d — a field change broke the record layout (owner %s)",
+			label, size, pin.spec.size, pin.tn.Pkg().Path())
+	}
+	if pin.spec.align > 0 && size%pin.spec.align != 0 {
+		pass.Reportf(pin.pos, "struct %s is %d bytes, not padded to a multiple of align=%d (%d bytes past the last %d-byte boundary) (owner %s)",
+			label, size, pin.spec.align, size%pin.spec.align, pin.spec.align, pin.tn.Pkg().Path())
+	}
+	if pin.spec.hotLo >= 0 {
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offs := layoutSizes.Offsetsof(fields)
+		loOK := pin.spec.hotLo == 0 // the record head is always an edge
+		hiOK := false
+		starts := make([]int64, 0, len(fields))
+		ends := make([]int64, 0, len(fields))
+		for i := range fields {
+			end := offs[i] + layoutSizes.Sizeof(fields[i].Type())
+			starts = append(starts, offs[i])
+			ends = append(ends, end)
+			if offs[i] == pin.spec.hotLo {
+				loOK = true
+			}
+			if end == pin.spec.hotHi {
+				hiOK = true
+			}
+		}
+		if !loOK || !hiOK {
+			pass.Reportf(pin.pos, "hotbytes=%d..%d does not land on %s field boundaries (field starts %v, ends %v) — the hot core moved (owner %s)",
+				pin.spec.hotLo, pin.spec.hotHi, label, starts, ends, pin.tn.Pkg().Path())
+		}
+	}
+}

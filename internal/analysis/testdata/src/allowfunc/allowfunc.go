@@ -1,0 +1,29 @@
+// Package allowfunc exercises //taq:allow(func) function-scoped
+// suppression: one directive in the doc comment covers every finding
+// line in the declaration, and -audit flags it stale when nothing in
+// the function would fire.
+package allowfunc
+
+import "time"
+
+// suppressed reads the wall clock twice; the single function-scoped
+// allow covers both call sites.
+//
+//taq:allow(func) wallclock fixture: wall time is the point here
+func suppressed() time.Time {
+	a := time.Now()
+	_ = a
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+// staleScope allows an analyzer that can never fire here; the audit
+// must report it stale when maprange runs.
+//
+//taq:allow(func) maprange nothing ranges over a map here
+func staleScope() int {
+	return 1
+}

@@ -1,0 +1,51 @@
+// Package atomicfield exercises the atomic-discipline contract:
+// //taq:atomic fields and vars may be touched only through sync/atomic.
+package atomicfield
+
+import "sync/atomic"
+
+// shared is a cross-shard aggregate header.
+type shared struct {
+	// hits is a plain-word counter under the atomic contract.
+	//
+	//taq:atomic cross-shard hit counter
+	hits int64
+	// gauge uses the atomic.* typed-field form of the contract.
+	//
+	//taq:atomic
+	gauge atomic.Int64
+	// name is unannotated: plain access stays legal.
+	name string
+}
+
+// workers is the package-level var form of the contract.
+//
+//taq:atomic process-wide worker count
+var workers atomic.Int64
+
+func ok(s *shared) {
+	atomic.AddInt64(&s.hits, 1)
+	_ = atomic.LoadInt64(&s.hits)
+	s.gauge.Store(3)
+	_ = s.gauge.Load()
+	workers.Add(1)
+	_ = s.name
+	t := shared{hits: 9} // composite-literal initialization is exempt
+	_ = t.name
+}
+
+func bad(s *shared) {
+	s.hits++     // want `plain write to atomic field shared\.hits`
+	s.hits = 4   // want `plain write to atomic field shared\.hits`
+	_ = s.hits   // want `plain read of atomic field shared\.hits`
+	p := &s.hits // want `address of atomic field shared\.hits escapes`
+	_ = p
+	v := *s // want `copy of atomicfield\.shared smuggles its atomic field`
+	keep(&v)
+	w := workers // want `plain read of atomic var workers`
+	_ = w
+}
+
+func keep(s *shared) {
+	_ = s
+}

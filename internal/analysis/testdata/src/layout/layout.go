@@ -1,0 +1,48 @@
+// Package layout exercises the memory-layout contract against the
+// gc/amd64 size model: size pins, cache-line padding, and hot-core
+// boundaries that must land on field edges.
+package layout
+
+// rec is pinned at its true size with a valid hot-core edge at the end
+// of field b (offset 16).
+//
+//taq:layout size=24 align=8 hotbytes=0..16
+type rec struct {
+	a int64
+	b int64
+	c int64
+}
+
+// header is exactly one cache line.
+//
+//taq:layout size=64 align=64
+type header struct {
+	bins [8]int64
+}
+
+// drifted claims a size the struct no longer has — the "field added to
+// the 200-byte record" failure mode.
+//
+//taq:layout size=16
+type drifted struct { // want `struct layout\.drifted is 24 bytes; //taq:layout pins size=16`
+	a int64
+	b int64
+	c int64
+}
+
+// misaligned wants cache-line padding it does not have.
+//
+//taq:layout align=64
+type misaligned struct { // want `struct layout\.misaligned is 8 bytes, not padded to a multiple of align=64`
+	a int64
+}
+
+// coldMoved pins a hot-core boundary no field edge matches: a ends at
+// 8, b at 12, c at 16 — nothing ends at 10.
+//
+//taq:layout hotbytes=0..10
+type coldMoved struct { // want `hotbytes=0\.\.10 does not land on layout\.coldMoved field boundaries`
+	a int64
+	b int32
+	c int32
+}

@@ -24,3 +24,47 @@ func C() {}
 func D() {
 	_ = 2 //taq:allow wallclck misspelled analyzer name
 }
+
+// E is a function, so shardowned cannot mark it.
+//
+//taq:shardowned misplaced on a function
+func E() {}
+
+// U is not a function, so crossshard cannot exempt it.
+//
+//taq:crossshard misplaced
+type U struct{}
+
+// F carries an allow(func) with no analyzer list.
+//
+//taq:allow(func)
+func F() {}
+
+func G() {
+	// An allow(func) must live in a function's doc comment, not a body.
+	//taq:allow(func) wallclock misplaced inside the body
+	_ = 3
+}
+
+// V pins a layout with an unparseable spec.
+//
+//taq:layout size=notanumber
+type V struct{ a int64 }
+
+// W puts layout on a non-struct type.
+//
+//taq:layout size=8
+type W int64
+
+// X misplaces atomic on a type declaration.
+//
+//taq:atomic misplaced
+type X struct {
+	a int64
+}
+
+func atomicLocal() {
+	//taq:atomic misplaced on a local var
+	var y int64
+	_ = y
+}

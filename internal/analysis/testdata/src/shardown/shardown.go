@@ -1,0 +1,66 @@
+// Package shardown is the owner-package fixture for the
+// shard-ownership contract: annotated state must not reach globals,
+// goroutines, or exported returns. Cross-package escapes are exercised
+// by the shardsub subpackage.
+package shardown
+
+// Owned is a shard-private record table.
+//
+//taq:shardowned per-shard flow state for the fixture
+type Owned struct {
+	recs []int64
+}
+
+// handles is a shard-private heap-handle slice type.
+//
+//taq:shardowned
+type handles []int32
+
+var leakedGlobal *Owned // want `package-level var leakedGlobal holds shard-owned shardown\.Owned`
+
+var cleanGlobal int
+
+var sink any
+
+func stash(o *Owned) {
+	sink = o // want `shard-owned shardown\.Owned stored into package-level sink`
+	local := o
+	_ = local // locals are fine
+}
+
+// Leak hands the table past its owner without a crossshard rationale.
+func Leak(o *Owned) *Owned { // want `exported Leak returns shard-owned shardown\.Owned past its owner`
+	return o
+}
+
+// Handoff is the audited aggregator surface: the same signature as
+// Leak, made legal by the directive.
+//
+//taq:crossshard fixture aggregation API
+func Handoff(o *Owned) *Owned {
+	return o
+}
+
+// keepLocal is unexported, so returning shard state stays in-package.
+func keepLocal(o *Owned) *Owned {
+	return o
+}
+
+func spawn(o *Owned, h handles) {
+	go worker(h) // want `shard-owned shardown\.handles passed into a goroutine`
+	go func() {
+		_ = o.recs // want `goroutine closure captures shard-owned shardown\.Owned o`
+	}()
+}
+
+func worker(h handles) {
+	_ = h
+}
+
+// dup exercises the builtin/stdlib exemptions: make, len, and copy are
+// not escape surfaces.
+func dup(h handles) handles {
+	h2 := make(handles, len(h))
+	copy(h2, h)
+	return h2
+}

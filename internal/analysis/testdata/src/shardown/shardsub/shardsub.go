@@ -1,0 +1,23 @@
+// Package shardsub is a foreign package relative to shardown's
+// shard-owned types: handing them here must go through //taq:crossshard
+// callees.
+package shardsub
+
+import "taq/internal/analysis/testdata/src/shardown"
+
+func use(o *shardown.Owned) {
+	_ = o
+}
+
+// aggregate is this package's audited crossing point.
+//
+//taq:crossshard fixture cross-package aggregation probe
+func aggregate(o *shardown.Owned) {
+	_ = o
+}
+
+func drive(o *shardown.Owned) {
+	use(o)              // want `shard-owned shardown\.Owned passed across the package boundary to shardown/shardsub\.use`
+	aggregate(o)        // crossshard callee: fine
+	shardown.Handoff(o) // owner-package callee: fine
+}

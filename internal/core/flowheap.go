@@ -15,6 +15,8 @@ import (
 // instead of a *flowInfo keeps the entry at 16 bytes and pointer-free:
 // the heap never extends a record's lifetime and is safe across
 // record-array growth.
+//
+//taq:layout size=16
 type deadlineEntry struct {
 	dl   sim.Time
 	slot int32
@@ -26,6 +28,8 @@ type deadlineEntry struct {
 // heap: shallower sift paths and better cache behavior on the dominant
 // pop-then-push cycle. The backing slice retains its capacity, so a
 // tracker in steady state pushes and pops with zero allocations.
+//
+//taq:shardowned deadline heaps index the shard's own flow slots
 type deadlineHeap struct {
 	a []deadlineEntry
 }

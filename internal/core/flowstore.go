@@ -15,6 +15,8 @@ import "taq/internal/packet"
 // tracker operation — only alloc can grow recs, and no caller holds a
 // record pointer across a flow creation. Anything held longer (heap
 // entries) stores the slot id and re-derives the pointer.
+//
+//taq:shardowned the flow-record arena; one per shard, never shared
 type flowStore struct {
 	recs []flowInfo
 	free []int32 // recycled slots, LIFO
@@ -74,6 +76,8 @@ func (s *flowStore) len() int { return s.idx.n }
 // from PoolID → slot. Entries are refcounted by the flows keyed to the
 // pool, so a flow's poolSlot stays valid for exactly as long as the
 // flow itself is tracked; no generation check is needed.
+//
+//taq:shardowned per-pool counters follow their flows' shard
 type poolTable struct {
 	recs []poolEntry
 	free []int32

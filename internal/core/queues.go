@@ -64,6 +64,8 @@ type recoveryItem struct {
 // so fired items are recycled through a free list: steady-state
 // retransmission traffic allocates no recoveryItems at all, which is
 // the dominant allocation in the TAQ enqueue path.
+//
+//taq:shardowned queue state belongs to the shard draining the link
 type recoveryQueue struct {
 	items []*recoveryItem
 	free  []*recoveryItem
@@ -189,6 +191,8 @@ func (q *recoveryQueue) popWorst() *packet.Packet {
 // TCP flows" that gives TAQ its Fair-Queuing-like fairness (§3.2).
 // Service order stays strictly FIFO (§4.2: "within each queue, we use
 // a simple FIFO policy").
+//
+//taq:shardowned queue state belongs to the shard draining the link
 type classFIFO struct {
 	items []*packet.Packet
 	head  int
@@ -300,6 +304,8 @@ func (f *classFIFO) PopVictim() *packet.Packet {
 }
 
 // classQueues bundles TAQ's five queues.
+//
+//taq:shardowned queue state belongs to the shard draining the link
 type classQueues struct {
 	recovery recoveryQueue
 	fifos    [numClasses]classFIFO // index 0 unused (recovery is the heap)

@@ -78,6 +78,15 @@ func (s FlowState) String() string {
 // packet.Packet's int Seq but saturate far below 2^31 in every
 // workload the simulator can express. sim.Time fields stay int64:
 // narrowing timestamps would change behavior.
+//
+// The layout pin holds the record at its current 200 bytes and keeps
+// the per-packet hot core (identity header plus the epoch/counter
+// section through invTerm) ending on a field boundary at offset 136;
+// a field added or reordered here is a deliberate layout decision,
+// not a drive-by.
+//
+//taq:shardowned per-flow record, owned by the tracker's flow store
+//taq:layout size=200 hotbytes=0..136
 type flowInfo struct {
 	// Identity and slot plumbing (read on every lookup).
 	id   packet.FlowID
@@ -225,6 +234,9 @@ type Census [numFlowStates]int
 // materializing a map each scan. refs counts tracked flows (active or
 // not) keyed to the pool; the entry is unfiled when it hits zero.
 // Entries live in the tracker's poolTable (flowstore.go).
+//
+//taq:shardowned per-pool active-count entry, owned by the tracker's pool table
+//taq:layout size=32
 type poolEntry struct {
 	stamp           uint64
 	key             packet.PoolID
@@ -238,6 +250,9 @@ type poolEntry struct {
 // counters in O(1), and the periodic scan itself touches only flows
 // whose deadlines have passed (tracked by two lazy-deletion heaps)
 // instead of rescanning the whole table.
+//
+//taq:shardowned all per-flow mutable state; the sharded middlebox gives each shard its own tracker
+//taq:layout align=64
 type tracker struct {
 	cfg Config
 	run sim.Runner

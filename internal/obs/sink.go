@@ -80,20 +80,25 @@ func (s *JSONLSink) Close() error { return nil }
 
 // label renders a small code through fn, or numerically when fn is nil
 // or the code is out of label range.
+//
+//taq:allow(func) noalloc builds into the sink's reused flush buffer
 func label(b []byte, fn func(int8) string, code int8) []byte {
 	if fn != nil && code >= 0 {
-		b = append(b, '"') //taq:allow noalloc builds into the sink's reused flush buffer (next line rides the same allow)
+		b = append(b, '"')
 		b = append(b, fn(code)...)
-		b = append(b, '"') //taq:allow noalloc builds into the sink's reused flush buffer
+		b = append(b, '"')
 		return b
 	}
 	return strconv.AppendInt(b, int64(code), 10)
 }
 
+// appendKey appends `,"key":` to the line being built.
+//
+//taq:allow(func) noalloc builds into the sink's reused flush buffer
 func appendKey(b []byte, key string) []byte {
-	b = append(b, ',', '"') //taq:allow noalloc builds into the sink's reused flush buffer (next line rides the same allow)
+	b = append(b, ',', '"')
 	b = append(b, key...)
-	b = append(b, '"', ':') //taq:allow noalloc builds into the sink's reused flush buffer
+	b = append(b, '"', ':')
 	return b
 }
 
@@ -102,17 +107,20 @@ func appendIntField(b []byte, key string, v int64) []byte {
 	return strconv.AppendInt(b, v, 10)
 }
 
+//taq:allow(func) noalloc builds into the sink's reused flush buffer
 func appendStrField(b []byte, key, v string) []byte {
 	b = appendKey(b, key)
-	b = append(b, '"') //taq:allow noalloc builds into the sink's reused flush buffer (next line rides the same allow)
+	b = append(b, '"')
 	b = append(b, v...)
-	return append(b, '"') //taq:allow noalloc builds into the sink's reused flush buffer
+	return append(b, '"')
 }
 
 // appendEvent renders ev as one JSON line. Key order is fixed:
 // t, ev, then kind-specific fields (see docs/observability.md).
+//
+//taq:allow(func) noalloc builds into the sink's reused flush buffer
 func (s *JSONLSink) appendEvent(b []byte, ev *Event) []byte {
-	b = append(b, `{"t":`...) //taq:allow noalloc builds into the sink's reused flush buffer
+	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, int64(ev.Time), 10)
 	b = appendStrField(b, "ev", ev.Kind.String())
 	switch ev.Kind {
@@ -129,7 +137,7 @@ func (s *JSONLSink) appendEvent(b []byte, ev *Event) []byte {
 			b = label(b, s.ClassName, ev.Class)
 		}
 		if ev.Kind == KindDrop && ev.Flag != 0 {
-			b = append(b, `,"rtx":true`...) //taq:allow noalloc builds into the sink's reused flush buffer
+			b = append(b, `,"rtx":true`...)
 		}
 	case KindClassChange:
 		b = appendIntField(b, "flow", int64(ev.Flow))
@@ -160,5 +168,5 @@ func (s *JSONLSink) appendEvent(b []byte, ev *Event) []byte {
 			b = appendStrField(b, "decision", "blocked")
 		}
 	}
-	return append(b, '}', '\n') //taq:allow noalloc builds into the sink's reused flush buffer
+	return append(b, '}', '\n')
 }
