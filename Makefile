@@ -56,6 +56,7 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench 'Engine|Discipline' -benchmem ./internal/sim .
 	$(GO) test -run='^$$' -bench 'TrackerScan|FlowLookup|FlowMemory|GaugeSample' -benchmem ./internal/core
-	$(GO) run ./cmd/taqbench -json -scale $(BENCHSCALE) -out BENCH_results.json
+	$(GO) test -run='^$$' -bench 'HistogramRecord|RegistrySnapshot' -benchmem ./internal/obs
+	$(GO) run ./cmd/taqbench -json -scale $(BENCHSCALE) -out BENCH_results.json -report-out BENCH_report.txt
 
 check: build vet taqvet-sarif test race

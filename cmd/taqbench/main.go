@@ -68,16 +68,17 @@ type report struct {
 
 func main() {
 	var (
-		list     = flag.String("experiment", "all", "comma-separated: fig1,fig2,fig3,fig6,fig8,fig9,fig10,fig11,fig12,hang,redsfq,model,tfrc,ablation,iw,subpacket,pcap,tbweb or all")
-		scale    = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of tables where supported (fig2, fig8, fig9)")
-		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
-		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
-		outPath  = flag.String("out", "", "write the JSON report to this file (default stdout)")
-		baseline = flag.Bool("baseline", false, "also run each experiment serially and report the parallel speedup")
-		compare  = flag.String("compare", "", "compare this run against a baseline JSON report (e.g. BENCH_baseline.json) and exit non-zero on regression")
-		tolPct   = flag.Float64("tolerance", 15, "regression tolerance for -compare, in percent (metrics ±, wall time +)")
+		list      = flag.String("experiment", "all", "comma-separated: fig1,fig2,fig3,fig6,fig8,fig9,fig10,fig11,fig12,hang,redsfq,model,tfrc,ablation,iw,subpacket,pcap,tbweb,report or all")
+		scale     = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of tables where supported (fig2, fig8, fig9)")
+		parallel  = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
+		outPath   = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		baseline  = flag.Bool("baseline", false, "also run each experiment serially and report the parallel speedup")
+		compare   = flag.String("compare", "", "compare this run against a baseline JSON report (e.g. BENCH_baseline.json) and exit non-zero on regression")
+		reportOut = flag.String("report-out", "", "write the report experiment's percentile table to this file (forces the report experiment to run)")
+		tolPct    = flag.Float64("tolerance", 15, "regression tolerance for -compare, in percent (metrics ±, wall time +)")
 
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -273,8 +274,11 @@ func main() {
 			})
 			return result{r.Table(), nil}
 		},
+		"report": func() result {
+			return runReport(*scale, *seed)
+		},
 	}
-	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "scale", "pcap", "tbweb"}
+	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "scale", "pcap", "tbweb", "report"}
 
 	want := map[string]bool{}
 	if *list == "all" {
@@ -289,6 +293,9 @@ func main() {
 			}
 			want[k] = true
 		}
+	}
+	if *reportOut != "" {
+		want["report"] = true
 	}
 
 	rep := report{Scale: *scale, Seed: *seed, Parallel: experiments.Parallelism()}
@@ -313,6 +320,12 @@ func main() {
 		er.Metrics = res.metrics
 		if *baseline && er.WallSecs > 0 {
 			er.Speedup = er.SerialWallSecs / er.WallSecs
+		}
+		if k == "report" && *reportOut != "" {
+			if err := os.WriteFile(*reportOut, []byte(res.output), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "[wrote %s]\n", *reportOut)
 		}
 		if *jsonOut {
 			er.Output = res.output

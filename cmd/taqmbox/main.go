@@ -29,8 +29,10 @@ func main() {
 		duration = flag.Float64("duration", 60, "virtual seconds to run")
 		speedup  = flag.Float64("speedup", 10, "virtual-to-wall time ratio")
 		seed     = flag.Int64("seed", 1, "random seed")
-		httpAddr = flag.String("http", "", "serve live gauges + pprof on this address (e.g. 127.0.0.1:6060)")
+		httpAddr = flag.String("http", "", "serve live gauges + /metrics + pprof on this address (e.g. 127.0.0.1:6060)")
 		events   = flag.String("events", "", "write the JSONL event trace to this file")
+
+		metricsOut = flag.String("metrics-out", "", "write the final Prometheus-format metrics snapshot to this file")
 	)
 	flag.Parse()
 
@@ -57,13 +59,14 @@ func main() {
 
 	virtual := sim.FromSeconds(*duration)
 	tb := emu.NewTestbed(emu.TestbedConfig{
-		Seed:       *seed,
-		Speedup:    *speedup,
-		Bandwidth:  link.Bps(*bw),
-		UseTAQ:     *useTAQ,
-		SliceWidth: virtual / 4,
-		Events:     rec,
-		HTTPAddr:   *httpAddr,
+		Seed:          *seed,
+		Speedup:       *speedup,
+		Bandwidth:     link.Bps(*bw),
+		UseTAQ:        *useTAQ,
+		SliceWidth:    virtual / 4,
+		Events:        rec,
+		HTTPAddr:      *httpAddr,
+		EnableMetrics: *metricsOut != "",
 	})
 	if tb.HTTPErr != nil {
 		fmt.Fprintln(os.Stderr, "taqmbox: http:", tb.HTTPErr)
@@ -102,6 +105,21 @@ func main() {
 		})
 	}
 	tb.Stop()
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taqmbox:", err)
+			os.Exit(1)
+		}
+		if err := tb.Metrics.Snapshot().WriteText(f); err != nil {
+			fmt.Fprintln(os.Stderr, "taqmbox: metrics:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "taqmbox: metrics:", err)
+			os.Exit(1)
+		}
+	}
 	if closeEvents != nil {
 		if err := closeEvents(); err != nil {
 			fmt.Fprintln(os.Stderr, "taqmbox: events:", err)

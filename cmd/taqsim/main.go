@@ -12,7 +12,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"taq/internal/core"
 	"taq/internal/link"
@@ -64,6 +66,14 @@ func main() {
 		events   = flag.String("events", "", "write the JSONL event trace to this file")
 		gauges   = flag.String("gauges", "", "write the CSV gauge time series to this file")
 		gaugeInt = flag.Float64("gauge-interval", 1, "gauge sampling cadence (simulated seconds)")
+
+		metricsOut = flag.String("metrics-out", "", "write the final Prometheus-format metrics snapshot to this file")
+		intervals  = flag.Int("intervals", 0, "print per-interval middlebox stats deltas this many times over the run")
+
+		flightDir  = flag.String("flight-dir", "", "dump the event ring here on anomaly triggers (incompatible with -events)")
+		flightRep  = flag.Float64("flight-rep", 50, "flight trigger: repetitive-timeout count")
+		flightLoss = flag.Float64("flight-loss", 0.25, "flight trigger: loss-rate EWMA")
+		flightP99  = flag.Float64("flight-p99", 0, "flight trigger: FCT p99 seconds (0 = off)")
 	)
 	flag.Parse()
 
@@ -115,8 +125,84 @@ func main() {
 		}()
 	}
 
+	if *metricsOut != "" || *flightDir != "" {
+		net.EnableMetrics()
+	}
+	var flight *obs.FlightRecorder
+	if *flightDir != "" {
+		if *events != "" {
+			fmt.Fprintln(os.Stderr, "taqsim: -flight-dir needs the retained event ring and cannot be combined with -events streaming")
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "taqsim:", err)
+			os.Exit(1)
+		}
+		ring := obs.NewRecorder(nil, 0)
+		net.EnableObservability(ring)
+		dir := *flightDir
+		flight = obs.NewFlightRecorder(net.Engine, ring, sim.Second, func(name string, seq int) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(dir, fmt.Sprintf("flight-%03d-%s.jsonl", seq, name)))
+		})
+		flight.ClassName = func(c int8) string { return core.Class(c).String() }
+		flight.StateName = func(s int8) string { return core.FlowState(s).String() }
+		if cm := net.CoreMetrics; cm != nil {
+			flight.Watch(obs.Trigger{Name: "rep_timeouts", Threshold: *flightRep,
+				Value: func() float64 { return float64(cm.RepTimeouts.Value()) }})
+		}
+		if mb := net.Middlebox; mb != nil {
+			flight.Watch(obs.Trigger{Name: "loss_ewma", Threshold: *flightLoss, Value: mb.LossEWMA})
+		}
+		if *flightP99 > 0 {
+			fct := net.FCT
+			flight.Watch(obs.Trigger{Name: "fct_p99", Threshold: *flightP99,
+				Value: func() float64 { return fct.Quantile(0.99).Seconds() }})
+		}
+		flight.Start()
+	}
+
 	workload.AddBulkFlows(net, *flows, 50*sim.Millisecond)
+
+	// Per-interval middlebox stats via Stats.Delta — the same
+	// cumulative-to-interval convention taqmbox prints.
+	if *intervals > 0 && net.Middlebox != nil {
+		step := sim.FromSeconds(*duration) / sim.Time(*intervals)
+		prev := net.Middlebox.Stats.Snapshot()
+		for i := 1; i <= *intervals; i++ {
+			at := step * sim.Time(i)
+			net.Engine.ScheduleAt(at, func() {
+				cur := net.Middlebox.Stats.Snapshot()
+				fmt.Printf("interval @%-6s : %s\n", at, cur.Delta(prev))
+				prev = cur
+			})
+		}
+	}
+
 	net.Run(sim.FromSeconds(*duration))
+
+	if flight != nil {
+		flight.Stop()
+		if flight.Err != nil {
+			fmt.Fprintln(os.Stderr, "taqsim: flight:", flight.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight dumps     : %d\n", flight.Dumps)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taqsim:", err)
+			os.Exit(1)
+		}
+		if err := net.Metrics.Snapshot().WriteText(f); err != nil {
+			fmt.Fprintln(os.Stderr, "taqsim: metrics:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "taqsim: metrics:", err)
+			os.Exit(1)
+		}
+	}
 
 	slices := int(sim.FromSeconds(*duration) / net.Slicer.Width())
 	to, rep := net.AggregateTimeouts()

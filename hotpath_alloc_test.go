@@ -281,6 +281,92 @@ var hotRootCases = []hotRootCase{
 			})
 		},
 	},
+	{
+		// The metrics record path, enabled AND disabled: a live counter
+		// bump is one atomic add, a live histogram observation a bounds
+		// search plus three; on nil instruments every method reduces to
+		// a branch. Both states must be allocation-free.
+		roots: []string{
+			"(*taq/internal/obs.Counter).Inc",
+			"(*taq/internal/obs.Counter).Add",
+			"(*taq/internal/obs.Counter).IncAt",
+			"(*taq/internal/obs.Counter).AddAt",
+			"(*taq/internal/obs.Histogram).Observe",
+			"(*taq/internal/obs.Histogram).ObserveAt",
+		},
+		run: func(t *testing.T) float64 {
+			reg := obs.NewRegistry()
+			c := reg.Counter("c_total", "plain")
+			cv := reg.CounterVec("cv_total", "vec", "class", []string{"a", "b", "c"})
+			h := reg.Histogram("h_seconds", "plain", obs.DelayBuckets())
+			hv := reg.HistogramVec("hv_seconds", "vec", obs.FCTBuckets(), "size", obs.FCTSizeLabels)
+			var nc *obs.Counter
+			var nh *obs.Histogram
+			i := 0
+			live := testing.AllocsPerRun(1000, func() {
+				c.Inc()
+				c.Add(3)
+				cv.IncAt(i % 3)
+				cv.AddAt(i%3, 2)
+				h.Observe(sim.Time(i) * sim.Microsecond)
+				hv.ObserveAt(i%3, sim.Time(i)*sim.Millisecond)
+				i++
+			})
+			off := testing.AllocsPerRun(1000, func() {
+				nc.Inc()
+				nc.Add(3)
+				nc.IncAt(1)
+				nc.AddAt(1, 2)
+				nh.Observe(sim.Second)
+				nh.ObserveAt(1, sim.Second)
+			})
+			return live + off
+		},
+	},
+	{
+		// The middlebox metrics hooks, driven through a warmed TAQ
+		// cycle with a live registry attached: every served and dropped
+		// packet records class, sojourn and transitions in-line.
+		roots: []string{
+			"(*taq/internal/core.Metrics).observeServe",
+			"(*taq/internal/core.Metrics).observeDrop",
+			"(*taq/internal/core.Metrics).observeTransition",
+			"(*taq/internal/core.Metrics).observeAdmission",
+		},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			mb := core.New(e, core.DefaultConfig(1000*link.Kbps, 64))
+			mb.SetMetrics(core.NewMetrics(obs.NewRegistry()))
+			return cycleDiscipline(mb, mkPackets(64))
+		},
+	},
+	{
+		// The link metrics hooks: per-dequeue sojourn and per-transmit
+		// byte accounting on a metered bottleneck.
+		roots: []string{
+			"(*taq/internal/link.Metrics).observeDequeue",
+			"(*taq/internal/link.Metrics).observeTx",
+		},
+		run: func(t *testing.T) float64 {
+			e := sim.NewEngine(1)
+			var got *packet.Packet
+			l := link.New(e, 1000*link.Kbps, sim.Millisecond, queue.NewDropTail(64), func(p *packet.Packet) { got = p })
+			l.SetMetrics(link.NewMetrics(obs.NewRegistry()))
+			pkts := mkPackets(8)
+			for _, p := range pkts {
+				l.Enqueue(p)
+			}
+			e.Run()
+			i := 0
+			allocs := testing.AllocsPerRun(1000, func() {
+				l.Enqueue(pkts[i%len(pkts)])
+				e.Run()
+				i++
+			})
+			_ = got
+			return allocs
+		},
+	},
 }
 
 // TestHotpathRootsZeroAlloc runs every case and requires zero

@@ -81,6 +81,9 @@ type admission struct {
 	// rec, when non-nil, receives AdmissionDecision trace events
 	// (installed via TAQ.SetRecorder).
 	rec *obs.Recorder
+	// mx, when non-nil, counts decisions (installed via
+	// TAQ.SetMetrics).
+	mx *Metrics
 }
 
 func newAdmission(run sim.Runner, cfg Config, stats *Stats) *admission {
@@ -116,16 +119,19 @@ func (a *admission) allowSyn(pool packet.PoolID, lossRate float64) bool {
 		// overload rather than opening the floodgates.
 		a.lastForceAdmit = now
 		a.admit(pool, pi)
+		a.mx.observeAdmission(obs.AdmissionForced)
 		a.rec.AdmissionDecision(now, pool, obs.AdmissionForced)
 		return true
 	case headOfLine && lossRate < a.threshold():
 		// Loss is low and this pool is next in line (or nobody waits).
 		a.admit(pool, pi)
+		a.mx.observeAdmission(obs.AdmissionAdmitted)
 		a.rec.AdmissionDecision(now, pool, obs.AdmissionAdmitted)
 		return true
 	default:
 		a.enqueueWaiting(pool)
 		pi.waited = true
+		a.mx.observeAdmission(obs.AdmissionBlocked)
 		a.rec.AdmissionDecision(now, pool, obs.AdmissionBlocked)
 		return false
 	}

@@ -44,6 +44,9 @@ type TAQ struct {
 	// rec, when non-nil, receives class-specific trace events (drops
 	// with victim class, class changes, tracker and admission events).
 	rec *obs.Recorder
+	// mx, when non-nil, records middlebox counters and histograms into
+	// a registry (installed via SetMetrics).
+	mx *Metrics
 
 	// Cached fair share (bits/second per flow), refreshed by the scan;
 	// invEpochSum weights the proportional fairness model; poolShare
@@ -407,6 +410,9 @@ func (t *TAQ) dropPacket(p *packet.Packet, class Class, rtx bool) {
 // blocked storms neither inflate nor dilute the congestion signal.
 func (t *TAQ) dropPolicy(p *packet.Packet, class Class, rtx bool) {
 	t.Stats.PolicyDrops++
+	if t.mx != nil {
+		t.mx.PolicyDrops.Inc()
+	}
 	if t.winArr > 0 {
 		t.winArr--
 	}
@@ -418,6 +424,7 @@ func (t *TAQ) dropPolicy(p *packet.Packet, class Class, rtx bool) {
 func (t *TAQ) recordDrop(p *packet.Packet, class Class, rtx bool) {
 	t.Stats.Drops++
 	t.Stats.DropsByClass[class]++
+	t.mx.observeDrop(class, rtx)
 	if t.rec != nil {
 		t.rec.Drop(t.run.Now(), p, int8(class), rtx)
 	}
@@ -466,6 +473,11 @@ func (t *TAQ) serve(p *packet.Packet, class Class) *packet.Packet {
 	}
 	t.Stats.Served++
 	t.Stats.ServedByClass[class]++
+	if t.mx != nil {
+		// Guarded so the sojourn arithmetic itself is skipped when
+		// metrics are off, per the nil-hook convention.
+		t.mx.observeServe(class, t.run.Now()-p.Enqueued)
+	}
 	t.tracker.observeForwarded(p)
 	return p
 }

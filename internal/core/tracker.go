@@ -263,6 +263,9 @@ type tracker struct {
 	// rec, when non-nil, receives TrackerTransition/TimeoutDetected
 	// events from setState (installed via TAQ.SetRecorder).
 	rec *obs.Recorder
+	// mx, when non-nil, counts transitions and timeout detections
+	// (installed via TAQ.SetMetrics).
+	mx *Metrics
 
 	// census partitions the flow table by state.
 	census Census
@@ -299,6 +302,11 @@ type tracker struct {
 	// point — roll is idempotent catch-up, so the result is
 	// identical.
 	lastScan sim.Time
+
+	// pad keeps the struct a whole multiple of the cache line so
+	// adjacent per-shard trackers never share one (the align=64
+	// layout contract above).
+	_ [56]byte
 }
 
 func newTracker(run sim.Runner, cfg Config) *tracker {
@@ -347,6 +355,7 @@ func (t *tracker) setState(f *flowInfo, s FlowState) {
 	if f.state == s {
 		return
 	}
+	t.mx.observeTransition(s)
 	if t.rec != nil {
 		now := t.run.Now()
 		t.rec.TrackerTransition(now, f.id, f.pool, int8(f.state), int8(s))

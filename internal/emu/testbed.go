@@ -41,10 +41,15 @@ type TestbedConfig struct {
 	GaugeSink     obs.SeriesSink
 	GaugeInterval sim.Time
 	// HTTPAddr, when non-empty, serves the live introspection endpoint
-	// (gauge snapshot + pprof) on that address, e.g. "127.0.0.1:0".
-	// This is strictly an emu-side feature: the discrete-event path
-	// never starts a listener.
+	// (gauge snapshot + Prometheus /metrics + pprof) on that address,
+	// e.g. "127.0.0.1:0". This is strictly an emu-side feature: the
+	// discrete-event path never starts a listener.
 	HTTPAddr string
+	// EnableMetrics creates a metrics registry for the testbed (also
+	// implied by HTTPAddr): link + FCT instruments, plus the TAQ
+	// per-class schema when UseTAQ is set. Snapshot it via
+	// Testbed.Metrics.
+	EnableMetrics bool
 }
 
 func (c *TestbedConfig) fillDefaults() {
@@ -84,6 +89,12 @@ type Testbed struct {
 	// set and the listener started); HTTPErr records a failed start.
 	HTTP    *obshttp.Server
 	HTTPErr error
+	// Metrics is the counters/histograms registry (non-nil when
+	// EnableMetrics or HTTPAddr is configured). Registry cells are
+	// atomics, so Metrics.Snapshot is safe without Engine.Post.
+	Metrics *obs.Registry
+	// fct is the registry's flow-completion-time histogram.
+	fct *obs.Histogram
 
 	flows  map[packet.FlowID]*tbFlow
 	nextID packet.FlowID
@@ -126,6 +137,14 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		}
 		disc.AddDropHook(func(*packet.Packet) { t.QueueDrops++ })
 		t.Link = link.New(t.Engine, cfg.Bandwidth, 0, disc, t.deliver)
+		if cfg.EnableMetrics || cfg.HTTPAddr != "" {
+			t.Metrics = obs.NewRegistry()
+			t.Link.SetMetrics(link.NewMetrics(t.Metrics))
+			t.fct = obs.FCTHistogram(t.Metrics)
+			if t.Middlebox != nil {
+				t.Middlebox.SetMetrics(core.NewMetrics(t.Metrics))
+			}
+		}
 		if cfg.Events != nil {
 			t.Link.SetRecorder(cfg.Events)
 			if t.Middlebox != nil {
@@ -154,11 +173,16 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		}
 	})
 	if cfg.HTTPAddr != "" {
-		// The snapshot callback runs on HTTP goroutines; Post serializes
-		// the gauge reads against the engine's callbacks.
-		t.HTTP, t.HTTPErr = obshttp.Serve(cfg.HTTPAddr, func() (names []string, values []float64) {
-			t.Engine.Post(func() { names, values = t.Gauges.Snapshot() })
-			return names, values
+		// The /vars callback runs on HTTP goroutines; Post serializes
+		// the gauge reads against the engine's callbacks. The /metrics
+		// snapshot needs no Post: registry cells are atomics, the
+		// lock-free read edge.
+		t.HTTP, t.HTTPErr = obshttp.Serve(cfg.HTTPAddr, obshttp.Options{
+			Vars: func() (names []string, values []float64) {
+				t.Engine.Post(func() { names, values = t.Gauges.Snapshot() })
+				return names, values
+			},
+			Metrics: t.Metrics.Snapshot,
 		})
 	}
 	return t
@@ -234,8 +258,12 @@ func (t *Testbed) AddSizedFlow(pool packet.PoolID, segs int, onComplete, onFail 
 				t.Link.Enqueue(p)
 			})
 		})
+		started := t.Engine.Now()
 		app.OnComplete = func() {
 			t.Slicer.Finish(id, t.Engine.Now())
+			if t.fct != nil {
+				t.fct.ObserveAt(obs.FCTSizeClass(segs*mss), t.Engine.Now()-started)
+			}
 			if onComplete != nil {
 				onComplete()
 			}

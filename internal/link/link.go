@@ -39,6 +39,7 @@ type Link struct {
 	busy    bool
 	deliver func(*packet.Packet)
 	rec     *obs.Recorder
+	mx      *Metrics
 
 	// txPkt is the packet currently serializing. prop holds packets in
 	// propagation: the delay is constant, so propagation arrivals occur
@@ -104,6 +105,11 @@ func (l *Link) pump() {
 	if l.rec != nil {
 		l.rec.Dequeue(l.run.Now(), p, -1)
 	}
+	if l.mx != nil {
+		// Guarded so the sojourn arithmetic is skipped when metrics are
+		// off, per the nil-hook convention.
+		l.mx.observeDequeue(l.run.Now() - p.Enqueued)
+	}
 	l.busy = true
 	l.txPkt = p
 	tx := l.rate.TxTime(p.Size)
@@ -124,6 +130,7 @@ func (l *Link) finishTx() {
 	l.busy = false
 	l.SentPackets++
 	l.SentBytes += uint64(p.Size)
+	l.mx.observeTx(p.Size)
 	l.lastTxFinish = l.run.Now()
 	l.prop.Push(p)
 	sim.After(l.run, l.delay, l.deliverNext)

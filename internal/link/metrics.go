@@ -1,0 +1,59 @@
+package link
+
+import (
+	"taq/internal/obs"
+	"taq/internal/sim"
+)
+
+// Metrics bundles the link's registry instruments: transmit counters
+// and the discipline-agnostic sojourn histogram (TAQ's per-class
+// histogram refines the same delay by victim class; this one also
+// covers the baseline disciplines). A nil *Metrics disables recording,
+// matching the nil-Recorder contract.
+type Metrics struct {
+	// TxPackets / TxBytes count traffic leaving the link
+	// (taq_link_tx_packets_total, taq_link_tx_bytes_total).
+	TxPackets *obs.Counter
+	TxBytes   *obs.Counter
+	// QueueDelay is the enqueue-to-dequeue sojourn across whatever
+	// discipline the link drains (taq_link_queue_delay_seconds).
+	QueueDelay *obs.Histogram
+}
+
+// NewMetrics registers the link schema on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		TxPackets: reg.Counter("taq_link_tx_packets_total",
+			"Packets fully serialized onto the bottleneck link."),
+		TxBytes: reg.Counter("taq_link_tx_bytes_total",
+			"Bytes fully serialized onto the bottleneck link."),
+		QueueDelay: reg.Histogram("taq_link_queue_delay_seconds",
+			"Bottleneck sojourn time from enqueue to dequeue, all classes.",
+			obs.DelayBuckets()),
+	}
+}
+
+// observeDequeue records a packet leaving the queue onto the wire.
+//
+//taq:hotpath nil-receiver metrics hook on the link pump path
+func (m *Metrics) observeDequeue(sojourn sim.Time) {
+	if m == nil {
+		return
+	}
+	m.QueueDelay.Observe(sojourn)
+}
+
+// observeTx records a completed serialization.
+//
+//taq:hotpath nil-receiver metrics hook on the link transmit path
+func (m *Metrics) observeTx(size int) {
+	if m == nil {
+		return
+	}
+	m.TxPackets.Inc()
+	m.TxBytes.Add(uint64(size))
+}
+
+// SetMetrics installs the bundle on the link. A nil bundle (the
+// default) disables metrics.
+func (l *Link) SetMetrics(mx *Metrics) { l.mx = mx }

@@ -64,6 +64,43 @@ func BucketStats(samples []SizeSample, perDecade int) []BucketStat {
 	return out
 }
 
+// LogBuckets returns n log-spaced histogram upper bounds starting at
+// lo, with perDecade buckets per factor of ten:
+//
+//	bounds[i] = lo * 10^(i/perDecade)
+//
+// This is the single source of bucket boundaries shared by the figure
+// sweeps (CDF.BucketCounts) and the live obs histograms
+// (obs.TimeBuckets), so a percentile read off /metrics lands in the
+// same bucket a figure sweep would report.
+func LogBuckets(lo float64, perDecade, n int) []float64 {
+	if perDecade < 1 {
+		perDecade = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo * math.Pow(10, float64(i)/float64(perDecade))
+	}
+	return out
+}
+
+// BucketCounts projects the samples onto the given ascending upper
+// bounds using Prometheus "le" semantics (a sample lands in the first
+// bucket whose bound is >= the sample). The result has len(bounds)+1
+// entries; the last is the overflow bucket. Counts are per-bucket, not
+// cumulative.
+func (c *CDF) BucketCounts(bounds []float64) []int {
+	out := make([]int, len(bounds)+1)
+	for _, v := range c.vals {
+		i := sort.SearchFloat64s(bounds, v) // first bound >= v
+		out[i]++
+	}
+	return out
+}
+
 // SpreadOrders returns how many orders of magnitude separate the
 // bucket's min and max (Fig 1's headline: "download times vary by over
 // two orders of magnitude").

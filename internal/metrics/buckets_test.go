@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentileRegressionTable pins Percentile's documented edge
+// behavior: empty input, single sample, clamping outside [0,100], and
+// linear interpolation between closest ranks in between. These are the
+// semantics the obs histogram quantiles and figure sweeps both build
+// on — a silent change here skews every percentile in the paper's
+// evaluation, so the table is exhaustive on the edges.
+func TestPercentileRegressionTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64 // NaN means "want NaN"
+	}{
+		{"empty p50", nil, 50, math.NaN()},
+		{"empty p0", nil, 0, math.NaN()},
+		{"empty p100", nil, 100, math.NaN()},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"single p-negative", []float64{7}, -10, 7},
+		{"single p-over", []float64{7}, 250, 7},
+		{"pair p0", []float64{1, 3}, 0, 1},
+		{"pair p50 interpolates", []float64{1, 3}, 50, 2},
+		{"pair p25 interpolates", []float64{1, 3}, 25, 1.5},
+		{"pair p100", []float64{1, 3}, 100, 3},
+		{"clamp below", []float64{1, 2, 3}, -5, 1},
+		{"clamp above", []float64{1, 2, 3}, 105, 3},
+		{"triple p50 exact rank", []float64{1, 2, 3}, 50, 2},
+		{"unsorted input", []float64{3, 1, 2}, 50, 2},
+		{"quad p75", []float64{10, 20, 30, 40}, 75, 32.5},
+	}
+	for _, c := range cases {
+		var cdf CDF
+		for _, v := range c.samples {
+			cdf.Add(v)
+		}
+		got := cdf.Percentile(c.p)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %v, want NaN", c.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(1e-4, 4, 9)
+	if len(b) != 9 {
+		t.Fatalf("len = %d, want 9", len(b))
+	}
+	if b[0] != 1e-4 {
+		t.Fatalf("b[0] = %v, want 1e-4", b[0])
+	}
+	// Four per decade: index 4 is one decade up, index 8 two.
+	if math.Abs(b[4]-1e-3) > 1e-12 {
+		t.Fatalf("b[4] = %v, want 1e-3", b[4])
+	}
+	if math.Abs(b[8]-1e-2) > 1e-10 {
+		t.Fatalf("b[8] = %v, want 1e-2", b[8])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v", i, b)
+		}
+	}
+	// Degenerate arguments clamp instead of panicking.
+	if got := LogBuckets(1, 0, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("clamped LogBuckets = %v", got)
+	}
+}
+
+func TestBucketCounts(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{0.5, 1, 1.5, 10, 11, 1000} {
+		c.Add(v)
+	}
+	got := c.BucketCounts([]float64{1, 10, 100})
+	// le semantics: 0.5 and 1 in bucket 0; 1.5 and 10 in bucket 1; 11
+	// in bucket 2; 1000 overflows.
+	want := []int{2, 2, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	var empty CDF
+	if got := empty.BucketCounts([]float64{1}); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty BucketCounts = %v", got)
+	}
+}

@@ -51,8 +51,14 @@ func (c *CDF) sort() {
 	}
 }
 
-// Percentile returns the p-th percentile (p in [0,100]) using nearest-
-// rank interpolation. NaN with no samples.
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation between the closest ranks (the numpy default): rank
+// p/100*(n-1) is split into an integer part and a fraction, and the
+// two neighboring sorted samples are blended by that fraction.
+//
+// Pinned edge behavior (see the regression table in metrics_test.go):
+// no samples returns NaN; a single sample is returned for every p;
+// p <= 0 and p >= 100 clamp to the smallest and largest sample.
 func (c *CDF) Percentile(p float64) float64 {
 	if len(c.vals) == 0 {
 		return math.NaN()

@@ -1,13 +1,15 @@
 // Package obshttp serves live introspection for the real-time engine:
-// an expvar-style JSON snapshot of the observability gauges plus the
-// standard net/http/pprof profiling handlers, on an opt-in listener.
+// an expvar-style JSON snapshot of the observability gauges, the
+// Prometheus text exposition of the metrics registry, and the standard
+// net/http/pprof profiling handlers, on an opt-in listener.
 //
 // This package is deliberately outside taqvet's deterministic set — it
 // exists only for the wall-clock prototype (internal/emu) and must
-// never be imported by the discrete-event path. The snapshot callback
-// it is given is invoked on HTTP-serving goroutines; callers that read
-// engine-owned state must serialize it themselves (internal/emu does so
-// by posting the read onto the engine).
+// never be imported by the discrete-event path. The snapshot callbacks
+// it is given are invoked on HTTP-serving goroutines; callers that
+// read engine-owned state must serialize it themselves (internal/emu
+// posts gauge reads onto the engine; registry snapshots are atomic and
+// need no serialization).
 package obshttp
 
 import (
@@ -15,6 +17,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+
+	"taq/internal/obs"
 )
 
 // Snapshot produces the current gauge names and values, in a stable
@@ -23,6 +27,62 @@ import (
 // serialization (see obs.GaugeSet.Snapshot and emu.Engine.Post).
 type Snapshot func() (names []string, values []float64)
 
+// Options selects which introspection surfaces the endpoint exposes.
+// Nil members leave their route unregistered.
+type Options struct {
+	// Vars backs /vars, a JSON object of gauge name → value.
+	Vars Snapshot
+	// Metrics backs /metrics, the Prometheus text exposition. The
+	// callback typically closes over an *obs.Registry's Snapshot
+	// method — safe to call from HTTP goroutines because registry
+	// cells are atomics (the lock-free read edge).
+	Metrics func() *obs.MetricsSnapshot
+}
+
+// NewMux builds the introspection handler without a listener, for
+// httptest-driven tests and embedding:
+//
+//	/vars          — JSON object of gauge name → value
+//	/metrics       — Prometheus text-format exposition
+//	/debug/pprof/  — the net/http/pprof handlers
+//
+// The pprof handlers are registered explicitly on a private mux so
+// importing this package never touches http.DefaultServeMux.
+func NewMux(opts Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	if opts.Vars != nil {
+		vars := opts.Vars
+		mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+			names, values := vars()
+			buf := []byte{'{'}
+			for i, n := range names {
+				if i > 0 {
+					buf = append(buf, ',')
+				}
+				buf = strconv.AppendQuote(buf, n)
+				buf = append(buf, ':')
+				buf = strconv.AppendFloat(buf, values[i], 'g', -1, 64)
+			}
+			buf = append(buf, '}', '\n')
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(buf)
+		})
+	}
+	if opts.Metrics != nil {
+		metrics := opts.Metrics
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			metrics().WriteText(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // Server is a running introspection endpoint.
 type Server struct {
 	ln  net.Listener
@@ -30,40 +90,13 @@ type Server struct {
 }
 
 // Serve starts an HTTP server on addr (e.g. "127.0.0.1:0") exposing
-//
-//	/vars          — JSON object of gauge name → value
-//	/debug/pprof/  — the net/http/pprof handlers
-//
-// The pprof handlers are registered explicitly on a private mux so
-// importing this package never touches http.DefaultServeMux.
-func Serve(addr string, snapshot Snapshot) (*Server, error) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
-		names, values := snapshot()
-		buf := []byte{'{'}
-		for i, n := range names {
-			if i > 0 {
-				buf = append(buf, ',')
-			}
-			buf = strconv.AppendQuote(buf, n)
-			buf = append(buf, ':')
-			buf = strconv.AppendFloat(buf, values[i], 'g', -1, 64)
-		}
-		buf = append(buf, '}', '\n')
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(buf)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
+// the routes NewMux registers for opts.
+func Serve(addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(opts)}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

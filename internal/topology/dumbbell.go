@@ -163,6 +163,16 @@ type Network struct {
 	// Gauges, when non-nil (EnableGauges), samples the bottleneck
 	// time series; callers Stop it (or Close the network) to flush.
 	Gauges *obs.GaugeSet
+	// Metrics, when non-nil (EnableMetrics), is the registry holding
+	// the bottleneck's counters and histograms; FCT is its
+	// flow-completion-time histogram, fed through ObserveFCT.
+	Metrics *obs.Registry
+	// FCT is nil until EnableMetrics.
+	FCT *obs.Histogram
+	// CoreMetrics is the TAQ middlebox's instrument bundle (nil until
+	// EnableMetrics, or when the discipline is not TAQ); exposed so
+	// callers can read counters for flight-recorder triggers.
+	CoreMetrics *core.Metrics
 
 	flows  map[packet.FlowID]*Flow
 	nextID packet.FlowID
@@ -271,6 +281,37 @@ func (n *Network) EnableObservability(rec *obs.Recorder) {
 	n.Link.Discipline().AddDropHook(func(p *packet.Packet) {
 		rec.Drop(n.Engine.Now(), p, -1, p.Retransmit)
 	})
+}
+
+// EnableMetrics creates the network's metrics registry and installs
+// the full schema: link transmit/sojourn instruments, the
+// flow-completion-time histogram, and — with a TAQ middlebox — the
+// per-class drop/serve/delay and tracker/admission instruments. Call
+// before the run starts; the returned registry snapshots at any time
+// (obs.MetricsSnapshot), typically once at run end for the
+// -metrics-out artifact.
+func (n *Network) EnableMetrics() *obs.Registry {
+	if n.Metrics != nil {
+		return n.Metrics
+	}
+	reg := obs.NewRegistry()
+	n.Link.SetMetrics(link.NewMetrics(reg))
+	n.FCT = obs.FCTHistogram(reg)
+	if n.Middlebox != nil {
+		n.CoreMetrics = core.NewMetrics(reg)
+		n.Middlebox.SetMetrics(n.CoreMetrics)
+	}
+	n.Metrics = reg
+	return reg
+}
+
+// ObserveFCT records a completed transfer into the FCT histogram,
+// classed by size. A no-op until EnableMetrics.
+func (n *Network) ObserveFCT(started sim.Time, sizeBytes int) {
+	if n.FCT == nil {
+		return
+	}
+	n.FCT.ObserveAt(obs.FCTSizeClass(sizeBytes), n.Engine.Now()-started)
 }
 
 // EnableGauges starts periodic sampling of the bottleneck time series

@@ -111,3 +111,109 @@ func TestObservabilityIsPassive(t *testing.T) {
 		t.Errorf("obs perturbed the run: arrivals %d/%d drops %d/%d", aOn, aOff, dOn, dOff)
 	}
 }
+
+// runMetered runs a small TAQ dumbbell with the metrics registry on
+// and returns the final Prometheus exposition plus the middlebox
+// stats.
+func runMetered(t *testing.T, seed int64) ([]byte, core.Stats) {
+	t.Helper()
+	n := MustNew(Config{Seed: seed, Queue: TAQ, TwoWayObservation: true})
+	reg := n.EnableMetrics()
+	for i := 0; i < 4; i++ {
+		n.AddFlow(packet.PoolNone, tcp.BulkApp{}, sim.Time(i)*sim.Second)
+	}
+	for i := 0; i < 8; i++ {
+		workloadShortFlow(n, 3, sim.Time(10+i)*sim.Second)
+	}
+	n.Run(40 * sim.Second)
+	return reg.Snapshot().AppendText(nil), n.Middlebox.Stats
+}
+
+// workloadShortFlow starts a sized transfer feeding the FCT histogram
+// (a local stand-in for workload.AddShortFlow, which lives a package
+// up and cannot be imported here).
+func workloadShortFlow(n *Network, segments int, at sim.Time) {
+	app := &tcp.SizedApp{Total: segments}
+	f := n.AddFlow(packet.PoolNone, app, at)
+	id, started := f.ID, f.Started
+	app.OnComplete = func() {
+		n.Slicer.Finish(id, n.Engine.Now())
+		n.ObserveFCT(started, segments*n.Cfg.TCP.MSS)
+	}
+}
+
+// TestMetricsRegistryMatchesStats cross-checks the registry against
+// the Stats counters the middlebox already keeps, and gates snapshot
+// determinism: same-seed runs must produce byte-identical expositions.
+func TestMetricsRegistryMatchesStats(t *testing.T) {
+	text1, stats := runMetered(t, 7)
+	text2, _ := runMetered(t, 7)
+	if !bytes.Equal(text1, text2) {
+		t.Errorf("same-seed expositions diverged:\n%s\nvs\n%s", text1, text2)
+	}
+
+	n := MustNew(Config{Seed: 7, Queue: TAQ, TwoWayObservation: true})
+	reg := n.EnableMetrics()
+	for i := 0; i < 4; i++ {
+		n.AddFlow(packet.PoolNone, tcp.BulkApp{}, sim.Time(i)*sim.Second)
+	}
+	for i := 0; i < 8; i++ {
+		workloadShortFlow(n, 3, sim.Time(10+i)*sim.Second)
+	}
+	n.Run(40 * sim.Second)
+	snap := reg.Snapshot()
+	var drops, served uint64
+	var fct uint64
+	for i := range snap.Counters {
+		switch snap.Counters[i].Name {
+		case "taq_drops_total":
+			for _, v := range snap.Counters[i].Values {
+				drops += v
+			}
+		case "taq_served_total":
+			for _, v := range snap.Counters[i].Values {
+				served += v
+			}
+		}
+	}
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "taq_fct_seconds" {
+			for _, c := range snap.Histograms[i].Counts {
+				fct += c
+			}
+		}
+	}
+	if drops != stats.Drops {
+		t.Errorf("registry drops = %d, Stats.Drops = %d", drops, stats.Drops)
+	}
+	if served != stats.Served {
+		t.Errorf("registry served = %d, Stats.Served = %d", served, stats.Served)
+	}
+	if fct == 0 {
+		t.Error("FCT histogram recorded no completions")
+	}
+	if !strings.Contains(string(text1), "taq_link_tx_packets_total") {
+		t.Error("exposition missing link metrics")
+	}
+}
+
+// TestMetricsArePassive verifies the registry does not perturb the
+// simulation, mirroring TestObservabilityIsPassive.
+func TestMetricsArePassive(t *testing.T) {
+	run := func(withMetrics bool) (arrivals, drops uint64) {
+		n := MustNew(Config{Seed: 11, Queue: TAQ, TwoWayObservation: true})
+		if withMetrics {
+			n.EnableMetrics()
+		}
+		for i := 0; i < 4; i++ {
+			n.AddFlow(packet.PoolNone, tcp.BulkApp{}, sim.Time(i)*sim.Second)
+		}
+		n.Run(30 * sim.Second)
+		return n.QueueArrivals, n.QueueDrops
+	}
+	aOn, dOn := run(true)
+	aOff, dOff := run(false)
+	if aOn != aOff || dOn != dOff {
+		t.Errorf("metrics perturbed the run: arrivals %d/%d drops %d/%d", aOn, aOff, dOn, dOff)
+	}
+}

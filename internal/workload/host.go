@@ -41,8 +41,11 @@ func (h networkHost) StartTransfer(pool packet.PoolID, segs int, onComplete, onF
 	app := &tcp.SizedApp{Total: segs}
 	f := h.net.AddFlow(pool, app, h.net.Engine.Now())
 	id := f.ID
+	started := f.Started
+	sizeBytes := segs * h.net.Cfg.TCP.MSS
 	app.OnComplete = func() {
 		h.net.Slicer.Finish(id, h.net.Engine.Now())
+		h.net.ObserveFCT(started, sizeBytes)
 		onComplete()
 	}
 	f.Sender.OnFail = func() {

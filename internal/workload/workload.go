@@ -50,6 +50,7 @@ func AddShortFlow(net *topology.Network, segments int, at sim.Time) *ShortFlowRe
 		res.End = net.Engine.Now()
 		res.Done = true
 		net.Slicer.Finish(f.ID, res.End)
+		net.ObserveFCT(res.Start, segments*net.Cfg.TCP.MSS)
 	}
 	return res
 }
