@@ -57,6 +57,7 @@ bench:
 	$(GO) test -run='^$$' -bench 'Engine|Discipline' -benchmem ./internal/sim .
 	$(GO) test -run='^$$' -bench 'TrackerScan|FlowLookup|FlowMemory|GaugeSample' -benchmem ./internal/core
 	$(GO) test -run='^$$' -bench 'HistogramRecord|RegistrySnapshot' -benchmem ./internal/obs
+	$(GO) test -run='^$$' -bench 'ShardDispatch' -benchmem ./internal/emu
 	$(GO) run ./cmd/taqbench -json -scale $(BENCHSCALE) -out BENCH_results.json -report-out BENCH_report.txt
 
 check: build vet taqvet-sarif test race

@@ -68,7 +68,7 @@ type report struct {
 
 func main() {
 	var (
-		list      = flag.String("experiment", "all", "comma-separated: fig1,fig2,fig3,fig6,fig8,fig9,fig10,fig11,fig12,hang,redsfq,model,tfrc,ablation,iw,subpacket,pcap,tbweb,report or all")
+		list      = flag.String("experiment", "all", "comma-separated: fig1,fig2,fig3,fig6,fig8,fig9,fig10,fig11,fig12,hang,redsfq,model,tfrc,ablation,iw,subpacket,scale,shard,pcap,tbweb,report or all")
 		scale     = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		csv       = flag.Bool("csv", false, "emit CSV instead of tables where supported (fig2, fig8, fig9)")
@@ -261,6 +261,18 @@ func main() {
 			}
 			return result{r.Table(), m}
 		},
+		"shard": func() result {
+			r := experiments.RunShardScaling(s, *seed)
+			m := map[string]float64{"points": float64(len(r.Points))}
+			for _, p := range r.Points {
+				// Deterministic counters only: wall time and pkts/s are
+				// machine-dependent and must not gate -compare.
+				m[fmt.Sprintf("shards%d_arrivals", p.Shards)] = float64(p.Arrivals)
+				m[fmt.Sprintf("shards%d_served", p.Shards)] = float64(p.Served)
+				m[fmt.Sprintf("shards%d_drops", p.Shards)] = float64(p.Drops)
+			}
+			return result{r.Table(), m}
+		},
 		"pcap": func() result {
 			a := experiments.RunPcapAnalysis(topology.DropTail, s, *seed)
 			b := experiments.RunPcapAnalysis(topology.TAQ, s, *seed)
@@ -278,7 +290,7 @@ func main() {
 			return runReport(*scale, *seed)
 		},
 	}
-	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "scale", "pcap", "tbweb", "report"}
+	order := []string{"model", "fig1", "fig2", "fig3", "hang", "redsfq", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "tfrc", "ablation", "iw", "subpacket", "scale", "shard", "pcap", "tbweb", "report"}
 
 	want := map[string]bool{}
 	if *list == "all" {

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"taq/internal/core"
+	"taq/internal/link"
+	"taq/internal/packet"
+	"taq/internal/sim"
+)
+
+// ShardPoint summarizes one shard count of the sharded-middlebox
+// scaling sweep: the same flow population churned through a
+// core.Sharded built on one sim engine per shard, each shard driven by
+// its own goroutine — the deterministic stand-in for the emu shard
+// bank's per-engine concurrency (DESIGN.md §12).
+type ShardPoint struct {
+	Shards   int
+	Flows    int
+	Ops      uint64 // middlebox operations driven across all shards
+	Arrivals uint64 // packets offered (sum of shard arrivals)
+	Served   uint64
+	Drops    uint64
+	// Checksum folds every shard's periodic shard-local read-outs, in
+	// shard order, so two same-seed runs must agree exactly whatever
+	// the goroutine interleaving — only the shared loss window and
+	// admission state are cross-shard, and the workload keeps admission
+	// off and the read-outs shard-local.
+	Checksum uint64
+	// WallSecs and PktsPerSec report measured wall throughput. They
+	// are machine- and core-count-dependent, so they appear in the
+	// human table but never in the compared metrics.
+	WallSecs   float64
+	PktsPerSec float64
+}
+
+// ShardResult holds the shard-scaling sweep.
+type ShardResult struct {
+	Points []ShardPoint
+}
+
+// RunShardScaling drives the flow-hash-partitioned middlebox at 1, 2,
+// 4 and 8 shards over the same workload: flows are partitioned by
+// core.ShardOf, each shard's slice of the churn runs on its own sim
+// engine in its own goroutine, and only the Aggregator's loss window
+// is shared. Deterministic counters gate CI (-compare); the throughput
+// columns document scaling on the machine at hand (near-linear only
+// when GOMAXPROCS covers the shard count).
+func RunShardScaling(scale Scale, seed int64) ShardResult {
+	if seed == 0 {
+		seed = 1
+	}
+	flows := int(1_000_000 * float64(scale))
+	if flows < 20_000 {
+		flows = 20_000
+	}
+	duration := scale.duration(120*sim.Second, 30*sim.Second)
+	counts := []int{1, 2, 4, 8}
+	points := make([]ShardPoint, len(counts))
+	// Shard counts run sequentially — each point is internally
+	// parallel, and sharing the machine across points would corrupt
+	// the throughput columns.
+	for i, n := range counts {
+		points[i] = runShardPoint(n, flows, duration, seed)
+	}
+	return ShardResult{Points: points}
+}
+
+func runShardPoint(shards, flows int, duration sim.Time, seed int64) ShardPoint {
+	cfg := core.DefaultConfig(10_000*link.Kbps, 256)
+	cfg.PoolFairShare = true
+	// Admission stays off: it is the one decision that couples a
+	// shard's packet fate to cross-shard state (the shared loss rate),
+	// and this sweep's counters must be interleaving-independent.
+
+	engines := make([]*sim.Engine, shards)
+	runs := make([]sim.Runner, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine(seed + int64(i))
+		runs[i] = engines[i]
+	}
+	sh := core.NewShardedOn(runs, cfg)
+	sh.Start()
+
+	// Partition the id space by ownership, exactly as the emu bank
+	// does: each driver feeds only the flows its shard owns.
+	owned := make([][]packet.FlowID, shards)
+	for f := 1; f <= flows; f++ {
+		id := packet.FlowID(f)
+		s := core.ShardOf(id, shards)
+		owned[s] = append(owned[s], id)
+	}
+
+	const step = 10 * sim.Millisecond
+	steps := int(duration / step)
+	sums := make([]uint64, shards)
+	ops := make([]uint64, shards)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ids := owned[s]
+			if len(ids) == 0 {
+				sums[s] = fnv.New64a().Sum64()
+				return
+			}
+			eng := engines[s]
+			q := sh.Shard(s)
+			rng := rand.New(rand.NewSource(seed + 1000*int64(s)))
+			seqs := make([]int, len(ids))
+			sum := fnv.New64a()
+			window := 256
+			if window > len(ids) {
+				window = len(ids)
+			}
+			perStep := 2*len(ids)/steps + 2
+			var n uint64
+			for sn := 0; sn < steps; sn++ {
+				now := sim.Time(sn) * step
+				eng.RunUntil(now)
+				lo := (len(ids) - window) * sn / steps
+				for k := 0; k < perStep; k++ {
+					j := lo + rng.Intn(window)
+					fl := ids[j]
+					pool := packet.PoolID(int(fl) / 8)
+					switch rng.Intn(10) {
+					case 0:
+						q.Enqueue(&packet.Packet{Flow: fl, Pool: pool, Kind: packet.Syn, Size: 40})
+					case 1, 2, 3, 4, 5:
+						q.Enqueue(&packet.Packet{Flow: fl, Pool: pool, Kind: packet.Data, Seq: seqs[j], Size: 500})
+						seqs[j]++
+					case 6:
+						sq := seqs[j] - 1
+						if sq < 0 {
+							sq = 0
+						}
+						q.Enqueue(&packet.Packet{
+							Flow: fl, Pool: pool, Kind: packet.Data, Seq: sq,
+							Size: 500, Retransmit: true,
+						})
+					case 7:
+						q.ObserveReverse(&packet.Packet{Flow: fl, Pool: pool, Kind: packet.Ack, CumAck: seqs[j], Size: 40})
+					case 8:
+						q.Dequeue()
+						q.Dequeue()
+					case 9:
+						// Silence.
+					}
+					n++
+				}
+				q.Dequeue()
+				if sn%50 == 0 {
+					// Shard-local read-outs only: census, fair share
+					// and queue state never cross the shard boundary.
+					fmt.Fprintf(sum, "%d,%d,%d,%v,%g\n",
+						now, q.ActiveFlows(), q.RecoveringFlows(), q.StateCensus(), q.FairShare())
+				}
+			}
+			ops[s] = n
+			sums[s] = sum.Sum64()
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	sh.Stop()
+
+	agg := fnv.New64a()
+	var totalOps uint64
+	for s := 0; s < shards; s++ {
+		fmt.Fprintf(agg, "%d:%016x\n", s, sums[s])
+		totalOps += ops[s]
+	}
+	stats := sh.Stats()
+	p := ShardPoint{
+		Shards:   shards,
+		Flows:    flows,
+		Ops:      totalOps,
+		Arrivals: stats.Arrivals,
+		Served:   stats.Served,
+		Drops:    stats.Drops,
+		Checksum: agg.Sum64(),
+		WallSecs: wall,
+	}
+	if wall > 0 {
+		p.PktsPerSec = float64(stats.Arrivals) / wall
+	}
+	return p
+}
+
+// Table renders the shard sweep. The wall and pkts/s columns are
+// machine-dependent (near-linear scaling needs one core per shard);
+// everything else is deterministic for a given seed and scale.
+func (r ShardResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%d", p.Flows),
+			fmt.Sprintf("%d", p.Arrivals),
+			fmt.Sprintf("%d", p.Served),
+			fmt.Sprintf("%d", p.Drops),
+			fmt.Sprintf("%016x", p.Checksum),
+			fmt.Sprintf("%.2f", p.WallSecs),
+			fmt.Sprintf("%.0f", p.PktsPerSec),
+		})
+	}
+	return table([]string{"shards", "flows", "arrivals", "served", "drops", "readout checksum", "wall s", "pkts/s"}, rows)
+}

@@ -23,13 +23,20 @@ type poolInfo struct {
 // poolInfo records in a slice, a free list of expired slots, and an
 // oaIndex from PoolID → slot, so the admission decision on the packet
 // path does no Go map access.
+//
+// Pointer discipline: create can grow recs and relocate every record,
+// so a *poolInfo must never be held across a create — work with slots
+// and re-derive &recs[slot] after any call that may file a record
+// (TestPoolRecordPointersMoveOnCreate pins the hazard; flowstore.go
+// states the same rule for flow records).
 type admPoolTable struct {
 	recs []poolInfo
 	free []int32
 	idx  oaIndex // PoolID → slot
 }
 
-// lookup returns pool's record, or nil.
+// lookup returns pool's record, or nil. The pointer is valid only
+// until the next create (see the type comment).
 func (pt *admPoolTable) lookup(pool packet.PoolID) *poolInfo {
 	slot, ok := pt.idx.get(int32(pool))
 	if !ok {
@@ -38,8 +45,10 @@ func (pt *admPoolTable) lookup(pool packet.PoolID) *poolInfo {
 	return &pt.recs[slot]
 }
 
-// create files a zeroed record for pool (which must be absent).
-func (pt *admPoolTable) create(pool packet.PoolID) *poolInfo {
+// create files a zeroed record for pool (which must be absent) and
+// returns its slot. It returns the slot, not a pointer, precisely
+// because the append below may have moved every existing record.
+func (pt *admPoolTable) create(pool packet.PoolID) int32 {
 	var slot int32
 	if n := len(pt.free); n > 0 {
 		slot = pt.free[n-1]
@@ -52,7 +61,7 @@ func (pt *admPoolTable) create(pool packet.PoolID) *poolInfo {
 	pi := &pt.recs[slot]
 	pi.key, pi.inUse = pool, true
 	pt.idx.put(int32(pool), slot)
-	return pi
+	return slot
 }
 
 // releaseSlot unfiles the record in slot and recycles it.
@@ -69,9 +78,13 @@ func (pt *admPoolTable) releaseSlot(slot int32) {
 // that wait are admitted in FIFO order, and every pool is guaranteed
 // admission within Twait (chosen below the TCP SYN timeout so a
 // retried SYN of a waiting pool gets through).
+//
+// The controller is clock-free: every entry point takes now from the
+// caller. In a sharded middlebox the shards may run on separate
+// engines, and the shared controller (owned by the Aggregator, under
+// admMu) must do its Twait arithmetic on the calling shard's timeline.
 type admission struct {
 	cfg     Config
-	run     sim.Runner
 	pools   admPoolTable
 	waiting []packet.PoolID
 	stats   *Stats
@@ -86,10 +99,6 @@ type admission struct {
 	mx *Metrics
 }
 
-func newAdmission(run sim.Runner, cfg Config, stats *Stats) *admission {
-	return &admission{cfg: cfg, run: run, stats: stats}
-}
-
 // threshold is the admit-below loss rate: p_thresh shaved by the
 // congestion-avoidance margin.
 func (a *admission) threshold() float64 {
@@ -97,16 +106,18 @@ func (a *admission) threshold() float64 {
 }
 
 // allowSyn decides whether the SYN of the given pool may proceed.
-func (a *admission) allowSyn(pool packet.PoolID, lossRate float64) bool {
+func (a *admission) allowSyn(now sim.Time, pool packet.PoolID, lossRate float64) bool {
 	if pool == packet.PoolNone {
 		return true
 	}
-	now := a.run.Now()
-	pi := a.pools.lookup(pool)
-	if pi == nil {
-		pi = a.pools.create(pool)
-		pi.waitingSince = now
+	slot, ok := a.pools.idx.get(int32(pool))
+	if !ok {
+		// create may relocate the whole record array; it returns the
+		// slot and the record pointer is derived only afterward.
+		slot = a.pools.create(pool)
+		a.pools.recs[slot].waitingSince = now
 	}
+	pi := &a.pools.recs[slot]
 	pi.lastActive = now
 	if pi.admitted {
 		return true
@@ -137,8 +148,8 @@ func (a *admission) allowSyn(pool packet.PoolID, lossRate float64) bool {
 	}
 }
 
-// admitted reports whether the pool may send data packets.
-func (a *admission) poolAdmitted(pool packet.PoolID) bool {
+// poolAdmitted reports whether the pool may send data packets.
+func (a *admission) poolAdmitted(now sim.Time, pool packet.PoolID) bool {
 	if pool == packet.PoolNone {
 		return true
 	}
@@ -146,10 +157,13 @@ func (a *admission) poolAdmitted(pool packet.PoolID) bool {
 	if pi == nil {
 		return false
 	}
-	pi.lastActive = a.run.Now()
+	pi.lastActive = now
 	return pi.admitted
 }
 
+// admit marks the pool admitted. pi must have been derived after the
+// last create (no create happens between derivation in allowSyn and
+// this call).
 func (a *admission) admit(pool packet.PoolID, pi *poolInfo) {
 	pi.admitted = true
 	a.removeWaiting(pool)
@@ -182,9 +196,8 @@ func (a *admission) removeWaiting(pool packet.PoolID) {
 // slot order over the flat table — deterministic, unlike the map
 // iteration it replaced — and doubles as the index's off-packet-path
 // growth point.
-func (a *admission) expire() {
+func (a *admission) expire(now sim.Time) {
 	a.pools.idx.maybeGrow()
-	now := a.run.Now()
 	for i := range a.pools.recs {
 		pi := &a.pools.recs[i]
 		if pi.inUse && pi.admitted && now-pi.lastActive > a.cfg.FlowExpiry {
@@ -201,7 +214,7 @@ func (a *admission) waitingPools() int { return len(a.waiting) }
 // admissions are Twait-paced FIFO. Zero for admitted or unknown pools.
 // §4.3: a proxy-mode middlebox can surface this to the user as "a
 // visible queue of requests with expected wait times".
-func (a *admission) expectedWait(pool packet.PoolID) sim.Time {
+func (a *admission) expectedWait(now sim.Time, pool packet.PoolID) sim.Time {
 	pi := a.pools.lookup(pool)
 	if pi == nil || pi.admitted {
 		return 0
@@ -216,7 +229,6 @@ func (a *admission) expectedWait(pool packet.PoolID) sim.Time {
 	if pos < 0 {
 		return 0
 	}
-	now := a.run.Now()
 	// Head of line: the remainder of its own (and the pacer's) Twait.
 	headWait := a.cfg.Twait - (now - a.pools.lookup(a.waiting[0]).waitingSince)
 	if pace := a.cfg.Twait - (now - a.lastForceAdmit); pace > headWait {

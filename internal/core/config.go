@@ -179,3 +179,21 @@ type Stats struct {
 	PoolsAdmitted uint64
 	PoolsWaited   uint64 // pools that had to wait before admission
 }
+
+// Add accumulates o into s — the shard-merge used by Sharded.Stats and
+// the emu shard bank.
+func (s *Stats) Add(o *Stats) {
+	s.Arrivals += o.Arrivals
+	s.Drops += o.Drops
+	s.PolicyDrops += o.PolicyDrops
+	for i := range s.DropsByClass {
+		s.DropsByClass[i] += o.DropsByClass[i]
+	}
+	s.Served += o.Served
+	for i := range s.ServedByClass {
+		s.ServedByClass[i] += o.ServedByClass[i]
+	}
+	s.SynsBlocked += o.SynsBlocked
+	s.PoolsAdmitted += o.PoolsAdmitted
+	s.PoolsWaited += o.PoolsWaited
+}

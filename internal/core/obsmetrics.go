@@ -129,7 +129,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 func (t *TAQ) SetMetrics(mx *Metrics) {
 	t.mx = mx
 	t.tracker.mx = mx
-	t.adm.mx = mx
+	t.agg.setMetrics(mx)
 }
 
 // observeServe records a forwarded packet's class and sojourn time.

@@ -22,7 +22,7 @@ func TestAdmissionNotLockedByOwnDrops(t *testing.T) {
 
 	// One real congestion episode pushes the measured loss past the
 	// admission threshold...
-	q.winArr, q.winDrop = 100, 50
+	q.setLossWindow(100, 50, 0, 0)
 	storm := func() {
 		for i := 0; i < 500; i++ {
 			q.Enqueue(synPkt(packet.FlowID(1000+i), packet.PoolID(1000+i)))
@@ -50,9 +50,9 @@ func TestAdmissionNotLockedByOwnDrops(t *testing.T) {
 		storm()
 	}
 	e.RunUntil(e.Now() + cfg.LossWindow + cfg.ScanInterval)
-	if lr := q.LossRate(); lr >= q.adm.threshold() {
+	if lr := q.LossRate(); lr >= q.agg.adm.threshold() {
 		t.Fatalf("LossRate = %v after congestion cleared, want < admission threshold %v (policy drops leaked into the loss window)",
-			lr, q.adm.threshold())
+			lr, q.agg.adm.threshold())
 	}
 	storm()
 	if got := q.Stats.PoolsAdmitted; got != 500 {

@@ -20,7 +20,15 @@ type TAQ struct {
 
 	tracker *tracker
 	q       classQueues
-	adm     *admission
+
+	// agg holds the loss window and the admission controller — in a
+	// sharded middlebox the only state shared between shards (see
+	// aggregator.go). A standalone TAQ owns a private aggregator, so
+	// both constructions run the identical code path.
+	agg *Aggregator
+	// winGenSeen is the last loss-window generation this shard rolled
+	// its serve counters for.
+	winGenSeen uint64
 
 	// Scheduler accounting for the Level-1 recovery share cap and the
 	// Level-2 round-robin cursor. The serve counters are windowed —
@@ -32,14 +40,6 @@ type TAQ struct {
 	winServed, winServedRec   uint64
 	prevServed, prevServedRec uint64
 	rrCursor                  int
-
-	// Loss-rate monitor over sliding windows.
-	winStart         sim.Time
-	winArr, winDrop  uint64
-	prevArr, prevDrp uint64
-	// lossEWMA smooths the per-window loss rate for the telemetry
-	// gauges (the windowed LossRate stays the admission-control input).
-	lossEWMA float64
 
 	// rec, when non-nil, receives class-specific trace events (drops
 	// with victim class, class changes, tracker and admission events).
@@ -72,9 +72,22 @@ type TAQ struct {
 func New(run sim.Runner, cfg Config) *TAQ {
 	t := &TAQ{cfg: cfg, run: run}
 	t.tracker = newTracker(run, cfg)
-	t.adm = newAdmission(run, cfg, &t.Stats)
+	t.agg = newPrivateAggregator(cfg, run.Now(), &t.Stats)
 	t.fairShare = float64(cfg.Rate)
-	t.winStart = run.Now()
+	t.victimScoreFn = t.victimScore
+	return t
+}
+
+// NewShard constructs one shard of a sharded middlebox: a full TAQ
+// (tracker, flow store, class queues, scheduler) attached to a shared
+// aggregator instead of a private one. Admission counters accumulate
+// in the aggregator's Stats, not this shard's.
+func NewShard(run sim.Runner, cfg Config, agg *Aggregator) *TAQ {
+	t := &TAQ{cfg: cfg, run: run}
+	t.tracker = newTracker(run, cfg)
+	t.agg = agg
+	t.winGenSeen = agg.winGen.Load()
+	t.fairShare = float64(cfg.Rate)
 	t.victimScoreFn = t.victimScore
 	return t
 }
@@ -86,7 +99,7 @@ func New(run sim.Runner, cfg Config) *TAQ {
 func (t *TAQ) SetRecorder(rec *obs.Recorder) {
 	t.rec = rec
 	t.tracker.rec = rec
-	t.adm.rec = rec
+	t.agg.setRecorder(rec)
 }
 
 // Start schedules the periodic scan. Safe to call once.
@@ -131,20 +144,16 @@ func (t *TAQ) scan() {
 		t.poolShare = float64(t.cfg.Rate) / float64(pools)
 	}
 	now := t.run.Now()
-	if now-t.winStart >= t.cfg.LossWindow {
-		var rate float64
-		if t.winArr > 0 {
-			rate = float64(t.winDrop) / float64(t.winArr)
-		}
-		t.lossEWMA = 0.875*t.lossEWMA + 0.125*rate
-		t.prevArr, t.prevDrp = t.winArr, t.winDrop
-		t.winArr, t.winDrop = 0, 0
+	if gen := t.agg.maybeRoll(now); gen != t.winGenSeen {
+		// The loss window rolled (by this shard or a peer): roll the
+		// windowed serve counters in step so the Level-1 recovery cap
+		// keeps comparing the same recent history as the loss monitor.
+		t.winGenSeen = gen
 		t.prevServed, t.prevServedRec = t.winServed, t.winServedRec
 		t.winServed, t.winServedRec = 0, 0
-		t.winStart = now
 	}
 	if t.cfg.AdmissionControl {
-		t.adm.expire()
+		t.agg.expireAdmission(now)
 	}
 }
 
@@ -152,17 +161,11 @@ func (t *TAQ) scan() {
 // two loss windows.
 //
 //taq:hotpath O(1) control-loop gauge, sampled at scan cadence
-func (t *TAQ) LossRate() float64 {
-	arr := t.winArr + t.prevArr
-	if arr == 0 {
-		return 0
-	}
-	return float64(t.winDrop+t.prevDrp) / float64(arr)
-}
+func (t *TAQ) LossRate() float64 { return t.agg.lossRate() }
 
 // LossEWMA returns the smoothed loss rate, updated once per loss
 // window — the telemetry-facing companion of LossRate.
-func (t *TAQ) LossEWMA() float64 { return t.lossEWMA }
+func (t *TAQ) LossEWMA() float64 { return t.agg.lossEWMAValue() }
 
 // FairShare returns the cached per-flow fair share in bits/second.
 //
@@ -194,13 +197,15 @@ func (t *TAQ) RecoveringFlows() int {
 func (t *TAQ) StateCensus() Census { return t.tracker.stateCensus() }
 
 // WaitingPools returns the number of flow pools queued for admission.
-func (t *TAQ) WaitingPools() int { return t.adm.waitingPools() }
+func (t *TAQ) WaitingPools() int { return t.agg.waitingPools() }
 
 // ExpectedWait estimates how long the given pool will wait before
 // admission (0 for admitted/unknown pools) — the §4.3 user-feedback
 // hook ("maintaining a visible queue of requests with expected wait
 // times ... for each browsing request").
-func (t *TAQ) ExpectedWait(pool packet.PoolID) sim.Time { return t.adm.expectedWait(pool) }
+func (t *TAQ) ExpectedWait(pool packet.PoolID) sim.Time {
+	return t.agg.expectedWait(t.run.Now(), pool)
+}
 
 // FlowStateOf exposes the tracked state of a flow (testing/metrics).
 // It is exactly one probe of the open-addressed flow index plus a
@@ -282,21 +287,23 @@ func (t *TAQ) classify(p *packet.Packet, f *flowInfo, rtx bool) Class {
 //taq:hotpath TAQ per-packet classify/admit/enqueue path (§4)
 func (t *TAQ) Enqueue(p *packet.Packet) {
 	t.Stats.Arrivals++
-	t.winArr++
+	t.agg.noteArrival()
 	f, rtx := t.tracker.observe(p)
 
 	// Admission control gates SYNs of un-admitted pools (§4.3); data
-	// of un-admitted pools (races around expiry) is dropped too.
+	// of un-admitted pools (races around expiry) is dropped too. The
+	// gate lives in the aggregator: pool admission is global across
+	// shards (//taq:crossshard).
 	if t.cfg.AdmissionControl && p.Pool != packet.PoolNone {
 		switch p.Kind {
 		case packet.Syn:
-			if !t.adm.allowSyn(p.Pool, t.LossRate()) {
+			if !t.agg.allowSyn(t.run.Now(), p.Pool, t.LossRate()) {
 				t.Stats.SynsBlocked++
 				t.dropPolicy(p, ClassNewFlow, false)
 				return
 			}
 		case packet.Data:
-			if !t.adm.poolAdmitted(p.Pool) {
+			if !t.agg.poolAdmitted(t.run.Now(), p.Pool) {
 				t.dropPolicy(p, ClassBelowFair, rtx)
 				return
 			}
@@ -395,7 +402,7 @@ func (t *TAQ) evict() (*packet.Packet, Class) {
 // dropPacket records a congestion drop: it feeds the loss window that
 // LossRate (and through it, admission control) reads.
 func (t *TAQ) dropPacket(p *packet.Packet, class Class, rtx bool) {
-	t.winDrop++
+	t.agg.noteDrop()
 	t.recordDrop(p, class, rtx)
 }
 
@@ -413,9 +420,7 @@ func (t *TAQ) dropPolicy(p *packet.Packet, class Class, rtx bool) {
 	if t.mx != nil {
 		t.mx.PolicyDrops.Inc()
 	}
-	if t.winArr > 0 {
-		t.winArr--
-	}
+	t.agg.uncountArrival()
 	t.recordDrop(p, class, rtx)
 }
 

@@ -339,7 +339,7 @@ func TestAdmissionPoolFIFO(t *testing.T) {
 	q := New(e, cfg)
 	q.Start()
 	// Force high loss so new pools must wait.
-	q.winArr, q.winDrop = 100, 50
+	q.setLossWindow(100, 50, 0, 0)
 	if q.LossRate() < cfg.PThresh {
 		t.Fatal("test setup: loss rate should exceed threshold")
 	}
@@ -353,7 +353,7 @@ func TestAdmissionPoolFIFO(t *testing.T) {
 	}
 	// Loss clears: the first waiting pool is admitted on retry, the
 	// second must wait its turn.
-	q.winArr, q.winDrop, q.prevArr, q.prevDrp = 100, 0, 100, 0
+	q.setLossWindow(100, 0, 100, 0)
 	q.Enqueue(synPkt(2, 200))
 	if q.Stats.SynsBlocked != 3 {
 		t.Errorf("pool 200 admitted out of order (blocked=%d)", q.Stats.SynsBlocked)
@@ -379,14 +379,13 @@ func TestAdmissionTwaitGuarantee(t *testing.T) {
 	cfg.Twait = 3 * sim.Second
 	q := New(e, cfg)
 	q.Start()
-	q.winArr, q.winDrop = 100, 50 // permanent high loss
+	q.setLossWindow(100, 50, 0, 0) // permanent high loss
 	q.Enqueue(synPkt(1, 100))
 	if q.Stats.SynsBlocked != 1 {
 		t.Fatal("pool should be blocked initially")
 	}
 	e.RunUntil(4 * sim.Second)
-	q.winArr, q.winDrop = 100, 50 // keep loss high across windows
-	q.prevArr, q.prevDrp = 100, 50
+	q.setLossWindow(100, 50, 100, 50) // keep loss high across windows
 	q.Enqueue(synPkt(1, 100))
 	if q.Stats.PoolsAdmitted != 1 {
 		t.Error("pool not admitted after Twait despite guarantee")
@@ -398,7 +397,7 @@ func TestAdmissionPoolNoneAlwaysAllowed(t *testing.T) {
 	cfg := testConfig()
 	cfg.AdmissionControl = true
 	q := New(e, cfg)
-	q.winArr, q.winDrop = 100, 90
+	q.setLossWindow(100, 90, 0, 0)
 	q.Enqueue(synPkt(1, packet.PoolNone))
 	if q.Stats.SynsBlocked != 0 {
 		t.Error("pool-less SYN blocked")
@@ -410,7 +409,7 @@ func TestDataOfUnadmittedPoolDropped(t *testing.T) {
 	cfg := testConfig()
 	cfg.AdmissionControl = true
 	q := New(e, cfg)
-	q.winArr, q.winDrop = 100, 90
+	q.setLossWindow(100, 90, 0, 0)
 	q.Enqueue(synPkt(1, 100)) // blocked
 	p := dataPkt(1, 0)
 	p.Pool = 100
@@ -507,7 +506,7 @@ func TestExpectedWaitEstimate(t *testing.T) {
 	cfg.Twait = 5 * sim.Second
 	q := New(e, cfg)
 	q.Start()
-	q.winArr, q.winDrop = 100, 50 // high loss: pools must wait
+	q.setLossWindow(100, 50, 0, 0) // high loss: pools must wait
 	q.Enqueue(synPkt(1, 100))
 	q.Enqueue(synPkt(2, 200))
 	q.Enqueue(synPkt(3, 300))

@@ -1,0 +1,11 @@
+package core
+
+// setLossWindow seeds the aggregator's loss-window counters — the test
+// replacement for the direct field writes the pre-aggregator tests
+// used to fake a measured loss rate.
+func (t *TAQ) setLossWindow(arr, drop, prevArr, prevDrp uint64) {
+	t.agg.winArr.Store(arr)
+	t.agg.winDrop.Store(drop)
+	t.agg.prevArr.Store(prevArr)
+	t.agg.prevDrp.Store(prevDrp)
+}

@@ -438,3 +438,28 @@ func (h *HistogramSnapshot) Quantile(li int, q float64) sim.Time {
 	}
 	return h.Bounds[len(h.Bounds)-1]
 }
+
+// MergedSnapshot snapshots every registry and sums them into one view
+// — the read edge of a sharded middlebox, where each shard records
+// into its own registry and the union is materialized only at
+// exposition time (obshttp /metrics, promtext artifacts). All
+// registries must carry the same schema (Merge panics otherwise); nil
+// registries are skipped. With no non-nil registry the snapshot is
+// empty.
+func MergedSnapshot(regs ...*Registry) *MetricsSnapshot {
+	var s *MetricsSnapshot
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		if s == nil {
+			s = r.Snapshot()
+			continue
+		}
+		s.Merge(r.Snapshot())
+	}
+	if s == nil {
+		return &MetricsSnapshot{}
+	}
+	return s
+}

@@ -330,3 +330,37 @@ func BenchmarkRegistrySnapshot(b *testing.B) {
 	}
 	_ = buf
 }
+
+// TestMergedSnapshot covers the variadic shard-merge helper the
+// sharded middlebox reads through: nil registries (shards without
+// metrics) are skipped, totals are the per-shard sums, and the merged
+// snapshot renders to the usual exposition.
+func TestMergedSnapshot(t *testing.T) {
+	a := buildShardRegistry(4, 3)
+	b := buildShardRegistry(2, 5)
+	s := MergedSnapshot(a, nil, b, nil)
+	if got := s.Counters[0].Values[0] + s.Counters[0].Values[1]; got != 6 {
+		t.Fatalf("merged drops = %d, want 6", got)
+	}
+	if got := s.Histograms[0].Counts[0]; got != 8 {
+		t.Fatalf("merged histogram count = %d, want 8", got)
+	}
+	// The input snapshots must be untouched: MergedSnapshot folds into
+	// its own copy, not into a's live cells.
+	if got := a.Snapshot().Counters[0].Values[0] + a.Snapshot().Counters[0].Values[1]; got != 4 {
+		t.Fatalf("source registry mutated by merge: drops = %d, want 4", got)
+	}
+	var buf strings.Builder
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "taq_drops_total{class=\"a\"}") {
+		t.Fatalf("merged exposition missing counter series:\n%s", buf.String())
+	}
+	if got := MergedSnapshot(); len(got.Counters) != 0 || len(got.Histograms) != 0 {
+		t.Fatal("MergedSnapshot() of nothing must be empty, not nil families")
+	}
+	if got := MergedSnapshot(nil, nil); len(got.Counters) != 0 {
+		t.Fatal("MergedSnapshot of only nil registries must be empty")
+	}
+}

@@ -35,7 +35,10 @@ type Options struct {
 	// Metrics backs /metrics, the Prometheus text exposition. The
 	// callback typically closes over an *obs.Registry's Snapshot
 	// method — safe to call from HTTP goroutines because registry
-	// cells are atomics (the lock-free read edge).
+	// cells are atomics (the lock-free read edge). A sharded
+	// middlebox closes over its bank's MergedSnapshot instead
+	// (obs.MergedSnapshot folds the per-shard registries at this
+	// same read edge; the write path never crosses shards).
 	Metrics func() *obs.MetricsSnapshot
 }
 
